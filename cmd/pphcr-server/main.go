@@ -1,0 +1,134 @@
+// Command pphcr-server runs the PPHCR content server (Fig 3): the public
+// REST API consumed by client apps and the web control dashboard used in
+// the demonstration (Figs 5–6), loaded with a synthetic world (stations,
+// schedules, podcast corpus, personas).
+//
+// Usage:
+//
+//	pphcr-server -addr :8080 -seed 2017 -days 14 -users 20
+//
+// Then, for example:
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/api/services
+//	curl 'localhost:8080/api/recommendations?user=user-000&k=5'
+//	open 'localhost:8080/dashboard/trajectory?user=user-000'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"pphcr"
+	"pphcr/internal/dashboard"
+	"pphcr/internal/httpapi"
+	"pphcr/internal/service"
+	"pphcr/internal/synth"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		seed  = flag.Int64("seed", 2017, "world seed")
+		days  = flag.Int("days", 14, "days of synthetic content and schedules")
+		users = flag.Int("users", 20, "synthetic personas")
+		track = flag.Bool("track", true, "preload persona commute traces and compact them")
+	)
+	flag.Parse()
+
+	log.Printf("generating synthetic world (seed=%d days=%d users=%d)...", *seed, *days, *users)
+	w, err := synth.GenerateWorld(synth.Params{Seed: *seed, Days: *days, Users: *users})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := pphcr.New(pphcr.Config{
+		TrainingDocs: w.Training,
+		Vocabulary:   w.FlatVocab,
+		Seed:         *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	horizon := w.Params.StartDate.AddDate(0, 0, w.Params.Days+8)
+	for _, svc := range w.Directory.Services() {
+		if err := sys.Directory.AddService(svc); err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range w.Directory.ProgramsBetween(svc.ID, w.Params.StartDate, horizon) {
+			if err := sys.Directory.AddProgram(p); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	log.Printf("ingesting %d podcasts through the ASR+Bayes pipeline...", len(w.Corpus))
+	start := time.Now()
+	for _, raw := range w.Corpus {
+		if _, err := sys.IngestPodcast(raw); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("ingested in %v", time.Since(start).Round(time.Millisecond))
+	for _, p := range w.Personas {
+		if err := sys.RegisterUser(p.Profile); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *track {
+		log.Printf("preloading commute traces for %d personas...", len(w.Personas))
+		for _, p := range w.Personas {
+			for d := 0; d < w.Params.Days; d++ {
+				day := w.Params.StartDate.AddDate(0, 0, d)
+				if wd := day.Weekday(); wd == time.Saturday || wd == time.Sunday {
+					continue
+				}
+				for _, morning := range []bool{true, false} {
+					trace, _, err := w.CommuteTrace(p, day, morning)
+					if err != nil {
+						log.Fatal(err)
+					}
+					for _, fix := range trace {
+						if err := sys.RecordFix(p.Profile.UserID, fix); err != nil {
+							log.Fatal(err)
+						}
+					}
+				}
+			}
+			if _, err := sys.CompactTracking(p.Profile.UserID); err != nil {
+				log.Printf("compact %s: %v", p.Profile.UserID, err)
+			}
+		}
+	}
+
+	// Live tracking sent to /api/track is periodically compacted by the
+	// background worker, as in the paper's deployment.
+	compactor, err := service.NewCompactor(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go compactor.Run(stop)
+
+	mux := http.NewServeMux()
+	mux.Handle("/api/", httpapi.NewServer(sys).Handler())
+	mux.Handle("/healthz", httpapi.NewServer(sys).Handler())
+	mux.Handle("/dashboard/", dashboard.NewServer(sys).Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "PPHCR content server — see /api/services, /api/recommendations, /dashboard/trajectory")
+	})
+	worldNow := w.Params.StartDate.AddDate(0, 0, w.Params.Days).Unix()
+	log.Printf("PPHCR server listening on %s (users: %v...)", *addr, firstN(sys.Profiles.UserIDs(), 3))
+	log.Printf("the synthetic world lives around unix %d — pass it to time-scoped endpoints, e.g.", worldNow)
+	log.Printf("  curl 'localhost%s/api/recommendations?user=%s&k=5&unix=%d'", *addr, firstN(sys.Profiles.UserIDs(), 1)[0], worldNow)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func firstN(xs []string, n int) []string {
+	if len(xs) < n {
+		return xs
+	}
+	return xs[:n]
+}

@@ -1,0 +1,218 @@
+// Command pphcr-sim runs an end-to-end population simulation: a
+// synthetic city of listeners commutes for a configurable number of
+// days while the system learns their tastes and mobility, proactively
+// personalizing each drive. It prints a per-day digest and a final
+// comparison against plain linear radio — the living version of the
+// paper's demonstration.
+//
+// Usage:
+//
+//	pphcr-sim -days 14 -test-days 5 -users 8 -seed 2017
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"pphcr"
+	"pphcr/internal/client"
+	"pphcr/internal/content"
+	"pphcr/internal/metrics"
+	"pphcr/internal/synth"
+	"pphcr/internal/trajectory"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 2017, "world seed")
+		days     = flag.Int("days", 14, "training days (feedback + tracking)")
+		testDays = flag.Int("test-days", 5, "held-out evaluation days")
+		users    = flag.Int("users", 8, "personas to simulate")
+	)
+	flag.Parse()
+
+	w, err := synth.GenerateWorld(synth.Params{Seed: *seed, Days: *days, Users: *users})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := pphcr.New(pphcr.Config{TrainingDocs: w.Training, Vocabulary: w.FlatVocab, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	horizon := w.Params.StartDate.AddDate(0, 0, w.Params.Days+8)
+	for _, svc := range w.Directory.Services() {
+		if err := sys.Directory.AddService(svc); err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range w.Directory.ProgramsBetween(svc.ID, w.Params.StartDate, horizon) {
+			if err := sys.Directory.AddProgram(p); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	for _, raw := range w.Corpus {
+		if _, err := sys.IngestPodcast(raw); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, p := range w.Personas {
+		if err := sys.RegisterUser(p.Profile); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("world: %d stations, %d podcasts, %d personas\n",
+		len(w.Directory.Services()), len(w.Corpus), len(w.Personas))
+
+	// Training phase: commutes tracked, feedback accumulated.
+	listeners := make(map[string]*client.Listener)
+	for _, p := range w.Personas {
+		listeners[p.Profile.UserID] = client.NewListener(p.Profile.UserID, p.TrueInterests, p.Seed)
+	}
+	fmt.Println("\n== training phase ==")
+	for d := 0; d < *days; d++ {
+		day := w.Params.StartDate.AddDate(0, 0, d)
+		if wd := day.Weekday(); wd == time.Saturday || wd == time.Sunday {
+			continue
+		}
+		var fixes, events int
+		for _, p := range w.Personas {
+			user := p.Profile.UserID
+			for _, morning := range []bool{true, false} {
+				trace, _, err := w.CommuteTrace(p, day, morning)
+				if err != nil {
+					log.Fatal(err)
+				}
+				for _, fix := range trace {
+					if err := sys.RecordFix(user, fix); err != nil {
+						log.Fatal(err)
+					}
+				}
+				fixes += len(trace)
+			}
+			// During each drive the listener samples a few fresh clips.
+			l := listeners[user]
+			for i, it := range sys.Candidates(day.Add(9 * time.Hour)) {
+				if i >= 4 {
+					break
+				}
+				out := l.Play(it, day.Add(8*time.Hour))
+				for _, ev := range out.Events {
+					if err := sys.AddFeedback(ev); err != nil {
+						log.Fatal(err)
+					}
+					events++
+				}
+			}
+		}
+		fmt.Printf("day %s: %5d GPS fixes, %4d feedback events\n",
+			day.Format("Mon 2006-01-02"), fixes, events)
+	}
+	for _, p := range w.Personas {
+		if _, err := sys.CompactTracking(p.Profile.UserID); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("tracking compacted for all personas")
+
+	// Evaluation phase: proactive personalization vs linear radio.
+	fmt.Println("\n== evaluation phase (held-out days) ==")
+	var pphcrStats, linearStats metrics.ListeningStats
+	day := w.Params.StartDate.AddDate(0, 0, *days)
+	for evaluated := 0; evaluated < *testDays; day = day.AddDate(0, 0, 1) {
+		if wd := day.Weekday(); wd == time.Saturday || wd == time.Sunday {
+			continue
+		}
+		evaluated++
+		for _, p := range w.Personas {
+			user := p.Profile.UserID
+			l := listeners[user]
+			full, _, err := w.CommuteTrace(p, day, true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Proactive plan from the first 3 minutes.
+			var partial trajectory.Trace
+			for _, fix := range full {
+				if fix.Time.Sub(full[0].Time) > 3*time.Minute {
+					break
+				}
+				partial = append(partial, fix)
+			}
+			tp, err := sys.PlanTrip(user, partial, partial[len(partial)-1].Time, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			commute := full.Duration()
+			// PPHCR condition: play the planned clips.
+			var s metrics.ListeningStats
+			s.Available = commute
+			if tp.Proactive {
+				cursor := 3 * time.Minute
+				s.Listened = cursor // live radio before the plan kicks in
+				for _, item := range tp.Plan.Items {
+					if cursor+item.Scored.Item.Duration > commute {
+						break
+					}
+					out := l.Play(item.Scored.Item, full[0].Time.Add(cursor))
+					s.Plays++
+					s.Listened += out.Listened
+					if out.Skipped {
+						s.Skips++
+					}
+					cursor += out.Listened
+				}
+				s.Listened += commute - cursor // remainder on live radio
+			} else {
+				s.Listened = commute
+			}
+			pphcrStats.Add(s)
+
+			// Linear condition: the favorite station's schedule.
+			var lin metrics.ListeningStats
+			lin.Available = commute
+			cursor := time.Duration(0)
+			for cursor < commute {
+				now := full[0].Time.Add(cursor)
+				prog, err := sys.Directory.ProgramAt(p.Profile.FavoriteService, now)
+				if err != nil {
+					break
+				}
+				remaining := prog.End().Sub(now)
+				if remaining > commute-cursor {
+					remaining = commute - cursor
+				}
+				itemView := programItem(prog.ID, prog.Title, prog.Categories, remaining)
+				out := l.Play(itemView, now)
+				lin.Plays++
+				lin.Listened += out.Listened
+				cursor += out.Listened
+				if out.Skipped {
+					lin.Skips++
+					lin.Switches++
+				}
+			}
+			linearStats.Add(lin)
+		}
+		fmt.Printf("day %s evaluated\n", day.Format("Mon 2006-01-02"))
+	}
+
+	fmt.Println("\n== results ==")
+	fmt.Printf("%-22s %10s %13s %11s\n", "condition", "skip rate", "listen share", "switches/h")
+	fmt.Printf("%-22s %10.3f %13.3f %11.2f\n", "linear radio",
+		linearStats.SkipRate(), linearStats.ListenShare(), linearStats.SwitchesPerHour())
+	fmt.Printf("%-22s %10.3f %13.3f %11.2f\n", "pphcr proactive",
+		pphcrStats.SkipRate(), pphcrStats.ListenShare(), pphcrStats.SwitchesPerHour())
+	if pphcrStats.SkipRate() < linearStats.SkipRate() {
+		fmt.Println("\nproactive personalization reduced skipping ✓")
+	} else {
+		fmt.Println("\nWARNING: no skip-rate improvement in this run")
+		os.Exit(1)
+	}
+}
+
+func programItem(id, title string, cats map[string]float64, dur time.Duration) *content.Item {
+	return &content.Item{ID: id, Title: title, Categories: cats, Duration: dur, Kind: content.KindClip}
+}

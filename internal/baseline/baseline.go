@@ -1,0 +1,145 @@
+// Package baseline implements the comparison recommenders the
+// experiments measure PPHCR against. The paper, being a demo, reports no
+// baselines; reproducing its prose claims ("increasing the user's
+// satisfaction", "decreasing her tendency to switch channels") requires
+// reference points, so we provide the standard ladder: random,
+// popularity, content-only (no context) and the full compound scorer.
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"pphcr/internal/content"
+	"pphcr/internal/recommend"
+)
+
+// Recommender is the interface all ranking strategies share. Rank
+// returns the top-k items as recommend.Scored so callers can inspect the
+// decomposition where it exists; baselines fill only Compound.
+type Recommender interface {
+	Name() string
+	Rank(prefs map[string]float64, items []*content.Item, ctx recommend.Context, k int) []recommend.Scored
+}
+
+// Random ranks uniformly at random — the floor any learner must beat.
+type Random struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandom returns a random recommender with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Recommender.
+func (r *Random) Name() string { return "random" }
+
+// Rank implements Recommender.
+func (r *Random) Rank(_ map[string]float64, items []*content.Item, _ recommend.Context, k int) []recommend.Scored {
+	r.mu.Lock()
+	perm := r.rng.Perm(len(items))
+	r.mu.Unlock()
+	n := len(items)
+	if k > 0 && k < n {
+		n = k
+	}
+	out := make([]recommend.Scored, 0, n)
+	for _, idx := range perm[:n] {
+		out = append(out, recommend.Scored{Item: items[idx], Compound: 0.5})
+	}
+	return out
+}
+
+// Popularity ranks by global engagement counts, ignoring both the user
+// and the context — the classic non-personalized baseline.
+type Popularity struct {
+	mu     sync.RWMutex
+	counts map[string]int
+}
+
+// NewPopularity returns an empty popularity model.
+func NewPopularity() *Popularity {
+	return &Popularity{counts: make(map[string]int)}
+}
+
+// Observe records one engagement (a like or listen-through) with an item.
+func (p *Popularity) Observe(itemID string) {
+	p.mu.Lock()
+	p.counts[itemID]++
+	p.mu.Unlock()
+}
+
+// Name implements Recommender.
+func (p *Popularity) Name() string { return "popularity" }
+
+// Rank implements Recommender.
+func (p *Popularity) Rank(_ map[string]float64, items []*content.Item, _ recommend.Context, k int) []recommend.Scored {
+	p.mu.RLock()
+	max := 1
+	for _, it := range items {
+		if c := p.counts[it.ID]; c > max {
+			max = c
+		}
+	}
+	out := make([]recommend.Scored, 0, len(items))
+	for _, it := range items {
+		out = append(out, recommend.Scored{
+			Item:     it,
+			Compound: float64(p.counts[it.ID]) / float64(max),
+		})
+	}
+	p.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Compound != out[j].Compound {
+			return out[i].Compound > out[j].Compound
+		}
+		return out[i].Item.ID < out[j].Item.ID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// ContentOnly is the paper's scorer with λ=0: personal taste and
+// freshness, but no location/trajectory/time context. The gap between
+// ContentOnly and Compound isolates the value of context awareness.
+type ContentOnly struct {
+	scorer *recommend.Scorer
+}
+
+// NewContentOnly returns the context-blind scorer.
+func NewContentOnly() *ContentOnly {
+	return &ContentOnly{scorer: recommend.NewScorer(0)}
+}
+
+// Name implements Recommender.
+func (c *ContentOnly) Name() string { return "content-only" }
+
+// Rank implements Recommender.
+func (c *ContentOnly) Rank(prefs map[string]float64, items []*content.Item, ctx recommend.Context, k int) []recommend.Scored {
+	return c.scorer.Rank(prefs, items, ctx, k)
+}
+
+// Compound wraps the full PPHCR scorer as a Recommender for side-by-side
+// evaluation.
+type Compound struct {
+	Scorer *recommend.Scorer
+}
+
+// NewCompound returns the full compound recommender with the given
+// context weight λ.
+func NewCompound(contextWeight float64) *Compound {
+	return &Compound{Scorer: recommend.NewScorer(contextWeight)}
+}
+
+// Name implements Recommender.
+func (c *Compound) Name() string { return "pphcr-compound" }
+
+// Rank implements Recommender.
+func (c *Compound) Rank(prefs map[string]float64, items []*content.Item, ctx recommend.Context, k int) []recommend.Scored {
+	return c.Scorer.Rank(prefs, items, ctx, k)
+}

@@ -1,0 +1,138 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"pphcr/internal/content"
+	"pphcr/internal/geo"
+	"pphcr/internal/recommend"
+)
+
+var now = time.Date(2016, 11, 15, 8, 30, 0, 0, time.UTC)
+
+func item(id, cat string) *content.Item {
+	return &content.Item{
+		ID: id, Kind: content.KindClip, Duration: 5 * time.Minute,
+		Published:  now.Add(-2 * time.Hour),
+		Categories: map[string]float64{cat: 1},
+	}
+}
+
+func items() []*content.Item {
+	return []*content.Item{
+		item("f1", "food"), item("f2", "food"),
+		item("s1", "sport"), item("t1", "technology"),
+	}
+}
+
+func ctx() recommend.Context {
+	return recommend.Context{
+		Now:      now,
+		Position: geo.Point{Lat: 45.07, Lon: 7.68},
+		DeltaT:   20 * time.Minute,
+		Driving:  true,
+	}
+}
+
+func TestRandomRecommender(t *testing.T) {
+	r := NewRandom(1)
+	if r.Name() != "random" {
+		t.Fatal("name")
+	}
+	got := r.Rank(nil, items(), ctx(), 2)
+	if len(got) != 2 {
+		t.Fatalf("k=2 returned %d", len(got))
+	}
+	all := r.Rank(nil, items(), ctx(), 0)
+	if len(all) != 4 {
+		t.Fatalf("k=0 returned %d", len(all))
+	}
+	// Same seed ⇒ same permutation sequence.
+	r2 := NewRandom(1)
+	a := r2.Rank(nil, items(), ctx(), 4)
+	r3 := NewRandom(1)
+	b := r3.Rank(nil, items(), ctx(), 4)
+	for i := range a {
+		if a[i].Item.ID != b[i].Item.ID {
+			t.Fatal("random not reproducible per seed")
+		}
+	}
+}
+
+func TestPopularityRecommender(t *testing.T) {
+	p := NewPopularity()
+	if p.Name() != "popularity" {
+		t.Fatal("name")
+	}
+	for i := 0; i < 5; i++ {
+		p.Observe("s1")
+	}
+	p.Observe("f1")
+	got := p.Rank(nil, items(), ctx(), 2)
+	if got[0].Item.ID != "s1" {
+		t.Fatalf("top = %s, want s1", got[0].Item.ID)
+	}
+	if got[0].Compound != 1 {
+		t.Fatalf("top score = %v", got[0].Compound)
+	}
+	if got[1].Item.ID != "f1" {
+		t.Fatalf("second = %s", got[1].Item.ID)
+	}
+	// Unobserved items keep a deterministic ID order.
+	all := p.Rank(nil, items(), ctx(), 0)
+	if all[2].Item.ID != "f2" || all[3].Item.ID != "t1" {
+		t.Fatalf("tail order: %s %s", all[2].Item.ID, all[3].Item.ID)
+	}
+}
+
+func TestContentOnlyIgnoresContext(t *testing.T) {
+	c := NewContentOnly()
+	if c.Name() != "content-only" {
+		t.Fatal("name")
+	}
+	prefs := map[string]float64{"food": 1}
+	geoItem := item("g1", "food")
+	geoItem.Geo = &content.GeoRelevance{Center: geo.Point{Lat: 45.07, Lon: 7.68}, Radius: 100}
+	plain := item("g2", "food")
+	withCtx := ctx()
+	withCtx.Position = geo.Point{Lat: 45.07, Lon: 7.68}
+	ranked := c.Rank(prefs, []*content.Item{geoItem, plain}, withCtx, 0)
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	// λ=0: identical content scores ⇒ tie broken by ID, context ignored.
+	if ranked[0].Compound != ranked[1].Compound {
+		t.Fatalf("context leaked into content-only: %v vs %v", ranked[0].Compound, ranked[1].Compound)
+	}
+}
+
+func TestCompoundUsesContext(t *testing.T) {
+	c := NewCompound(0.5)
+	if c.Name() != "pphcr-compound" {
+		t.Fatal("name")
+	}
+	prefs := map[string]float64{"food": 1}
+	nearby := item("near", "food")
+	nearby.Geo = &content.GeoRelevance{Center: geo.Point{Lat: 45.07, Lon: 7.68}, Radius: 1000}
+	plain := item("plain", "food")
+	withCtx := ctx()
+	withCtx.Position = geo.Point{Lat: 45.07, Lon: 7.68}
+	ranked := c.Rank(prefs, []*content.Item{plain, nearby}, withCtx, 0)
+	if ranked[0].Item.ID != "near" {
+		t.Fatalf("compound ignored context: top = %s", ranked[0].Item.ID)
+	}
+}
+
+func TestAllImplementInterface(t *testing.T) {
+	var recs = []Recommender{
+		NewRandom(1), NewPopularity(), NewContentOnly(), NewCompound(0.4),
+	}
+	names := map[string]bool{}
+	for _, r := range recs {
+		if names[r.Name()] {
+			t.Fatalf("duplicate name %q", r.Name())
+		}
+		names[r.Name()] = true
+	}
+}

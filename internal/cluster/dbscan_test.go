@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// planarNeighbors builds a brute-force NeighborFunc over 2D points.
+func planarNeighbors(pts [][2]float64, eps float64) NeighborFunc {
+	return func(i int) []int {
+		var out []int
+		for j := range pts {
+			dx := pts[i][0] - pts[j][0]
+			dy := pts[i][1] - pts[j][1]
+			if math.Hypot(dx, dy) <= eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+}
+
+func gaussianBlob(rng *rand.Rand, cx, cy, sigma float64, n int) [][2]float64 {
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{cx + rng.NormFloat64()*sigma, cy + rng.NormFloat64()*sigma}
+	}
+	return pts
+}
+
+func TestDBSCANTwoBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := append(gaussianBlob(rng, 0, 0, 0.1, 50), gaussianBlob(rng, 10, 10, 0.1, 50)...)
+	labels := DBSCAN(len(pts), 4, planarNeighbors(pts, 0.5))
+	if k := Count(labels); k != 2 {
+		t.Fatalf("Count = %d, want 2", k)
+	}
+	// All points in the first blob must share one label, second blob another.
+	first, second := labels[0], labels[50]
+	if first == second {
+		t.Fatal("blobs merged")
+	}
+	for i := 0; i < 50; i++ {
+		if labels[i] != first {
+			t.Fatalf("point %d in blob 1 has label %d, want %d", i, labels[i], first)
+		}
+	}
+	for i := 50; i < 100; i++ {
+		if labels[i] != second {
+			t.Fatalf("point %d in blob 2 has label %d, want %d", i, labels[i], second)
+		}
+	}
+}
+
+func TestDBSCANNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := gaussianBlob(rng, 0, 0, 0.1, 30)
+	pts = append(pts, [2]float64{100, 100}) // isolated outlier
+	labels := DBSCAN(len(pts), 4, planarNeighbors(pts, 0.5))
+	if labels[30] != Noise {
+		t.Fatalf("outlier label = %d, want Noise", labels[30])
+	}
+	if k := Count(labels); k != 1 {
+		t.Fatalf("Count = %d, want 1", k)
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	// Points too sparse for minPts=3 within eps.
+	pts := [][2]float64{{0, 0}, {10, 0}, {20, 0}, {30, 0}}
+	labels := DBSCAN(len(pts), 3, planarNeighbors(pts, 1))
+	for i, l := range labels {
+		if l != Noise {
+			t.Fatalf("point %d label = %d, want Noise", i, l)
+		}
+	}
+	if Count(labels) != 0 {
+		t.Fatal("expected zero clusters")
+	}
+}
+
+func TestDBSCANEmpty(t *testing.T) {
+	labels := DBSCAN(0, 3, func(int) []int { return nil })
+	if len(labels) != 0 {
+		t.Fatal("expected empty labels")
+	}
+	if Count(labels) != 0 {
+		t.Fatal("expected zero clusters")
+	}
+}
+
+func TestDBSCANChainConnectivity(t *testing.T) {
+	// A chain of points each within eps of the next must form one cluster
+	// (density-connectivity is transitive through core points).
+	var pts [][2]float64
+	for i := 0; i < 20; i++ {
+		pts = append(pts, [2]float64{float64(i) * 0.4, 0})
+	}
+	labels := DBSCAN(len(pts), 3, planarNeighbors(pts, 0.5))
+	if k := Count(labels); k != 1 {
+		t.Fatalf("chain split into %d clusters", k)
+	}
+	for i, l := range labels {
+		if l != 0 {
+			t.Fatalf("chain point %d has label %d", i, l)
+		}
+	}
+}
+
+func TestDBSCANBorderPointAdoption(t *testing.T) {
+	// A point within eps of a core point but itself not core must join the
+	// cluster (border point), not stay noise.
+	pts := [][2]float64{{0, 0}, {0.1, 0}, {0.2, 0}, {0.3, 0}, {0.75, 0}}
+	labels := DBSCAN(len(pts), 4, planarNeighbors(pts, 0.5))
+	if labels[4] != labels[0] {
+		t.Fatalf("border point label = %d, want %d", labels[4], labels[0])
+	}
+}
+
+func TestDBSCANLabelInvariants(t *testing.T) {
+	// Property: every label is Noise or in [0, Count); every cluster is
+	// non-empty; labels length matches input.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([][2]float64, n)
+		for i := range pts {
+			pts[i] = [2]float64{rng.Float64() * 5, rng.Float64() * 5}
+		}
+		labels := DBSCAN(n, 3, planarNeighbors(pts, 0.7))
+		if len(labels) != n {
+			return false
+		}
+		k := Count(labels)
+		seen := make([]bool, k)
+		for _, l := range labels {
+			if l == Noise {
+				continue
+			}
+			if l < 0 || l >= k {
+				return false
+			}
+			seen[l] = true
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBSCANDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := gaussianBlob(rng, 0, 0, 1.0, 80)
+	a := DBSCAN(len(pts), 4, planarNeighbors(pts, 0.6))
+	b := DBSCAN(len(pts), 4, planarNeighbors(pts, 0.6))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("DBSCAN not deterministic")
+		}
+	}
+}
+
+func TestGroups(t *testing.T) {
+	labels := []int{0, 1, Noise, 0, 1, 1}
+	clusters, noise := Groups(labels)
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters", len(clusters))
+	}
+	if len(clusters[0]) != 2 || len(clusters[1]) != 3 {
+		t.Fatalf("cluster sizes %d/%d", len(clusters[0]), len(clusters[1]))
+	}
+	if len(noise) != 1 || noise[0] != 2 {
+		t.Fatalf("noise = %v", noise)
+	}
+}
+
+func BenchmarkDBSCAN1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var pts [][2]float64
+	for c := 0; c < 10; c++ {
+		pts = append(pts, gaussianBlob(rng, float64(c)*10, 0, 0.3, 100)...)
+	}
+	nf := planarNeighbors(pts, 1.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DBSCAN(len(pts), 4, nf)
+	}
+}

@@ -1,0 +1,226 @@
+// Package content models the audio items and the content repository of
+// the paper's architecture (Fig 3): the podcasts and clips that the clip
+// data management component classifies and the recommender draws from.
+package content
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pphcr/internal/geo"
+)
+
+// Categories is the fixed editorial taxonomy. The paper specifies "a set
+// of 30 categories spacing from art to culture, music, economics".
+var Categories = []string{
+	"art", "culture", "music", "economics", "politics", "sport",
+	"food", "travel", "technology", "science", "health", "cinema",
+	"literature", "theatre", "history", "religion", "environment",
+	"fashion", "education", "crime", "weather", "traffic", "finance",
+	"business", "comedy", "society", "international", "regional",
+	"interviews", "documentary",
+}
+
+// IsCategory reports whether c is one of the 30 editorial categories.
+func IsCategory(c string) bool {
+	for _, k := range Categories {
+		if k == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Kind distinguishes the item types the system schedules.
+type Kind int
+
+// Item kinds. Clips are short on-demand podcast cuts; News items decay
+// fast; TimeShifted entries reference a live program replayed from its
+// scheduled start (Fig 4's "The rabbit's roar").
+const (
+	KindClip Kind = iota
+	KindNews
+	KindMusic
+	KindTimeShifted
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindClip:
+		return "clip"
+	case KindNews:
+		return "news"
+	case KindMusic:
+		return "music"
+	case KindTimeShifted:
+		return "timeshifted"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// GeoRelevance ties an item to a place: the item is relevant within
+// Radius meters of Center (e.g. local news, a venue ad — Fig 2's item B
+// "relevant to location L_B").
+type GeoRelevance struct {
+	Center geo.Point
+	Radius float64 // meters
+}
+
+// Item is one recommendable audio unit.
+type Item struct {
+	ID       string
+	Title    string
+	Program  string // editorial program the clip was cut from
+	Kind     Kind
+	Duration time.Duration
+	// Published is when the item entered the repository; freshness decays
+	// from here.
+	Published time.Time
+	// Categories is the (possibly soft) category distribution assigned by
+	// the classifier; weights sum to ~1.
+	Categories map[string]float64
+	// Geo is non-nil for geographically scoped items.
+	Geo *GeoRelevance
+	// Bitrate of the encoded audio, kbps; used by bandwidth accounting.
+	BitrateKbps int
+}
+
+// TopCategory returns the argmax category (empty for an empty map).
+func (it *Item) TopCategory() string {
+	best, bestW := "", -1.0
+	for c, w := range it.Categories {
+		if w > bestW || (w == bestW && c < best) {
+			best, bestW = c, w
+		}
+	}
+	return best
+}
+
+// SizeBytes returns the approximate encoded size of the item's audio.
+func (it *Item) SizeBytes() int64 {
+	kbps := it.BitrateKbps
+	if kbps <= 0 {
+		kbps = 96 // the paper's stream bitrate
+	}
+	return int64(float64(kbps) * 1000 / 8 * it.Duration.Seconds())
+}
+
+// Repository is the thread-safe content store with the secondary indexes
+// the recommender needs: by ID, by top category and by publish time.
+type Repository struct {
+	mu     sync.RWMutex
+	items  map[string]*Item
+	byCat  map[string][]string // top category -> item IDs
+	sorted []string            // IDs ordered by Published asc
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{
+		items: make(map[string]*Item),
+		byCat: make(map[string][]string),
+	}
+}
+
+// Add inserts an item. It rejects duplicates, empty IDs and non-positive
+// durations.
+func (r *Repository) Add(it *Item) error {
+	if it == nil || it.ID == "" {
+		return fmt.Errorf("content: item must have an ID")
+	}
+	if it.Duration <= 0 {
+		return fmt.Errorf("content: item %q must have positive duration", it.ID)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.items[it.ID]; dup {
+		return fmt.Errorf("content: duplicate item %q", it.ID)
+	}
+	r.items[it.ID] = it
+	top := it.TopCategory()
+	if top != "" {
+		r.byCat[top] = append(r.byCat[top], it.ID)
+	}
+	// Insert into the publish-ordered list (items arrive mostly in
+	// order, so the scan from the tail is effectively O(1)).
+	idx := len(r.sorted)
+	for idx > 0 && r.items[r.sorted[idx-1]].Published.After(it.Published) {
+		idx--
+	}
+	r.sorted = append(r.sorted, "")
+	copy(r.sorted[idx+1:], r.sorted[idx:])
+	r.sorted[idx] = it.ID
+	return nil
+}
+
+// Get returns the item with the given ID.
+func (r *Repository) Get(id string) (*Item, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	it, ok := r.items[id]
+	return it, ok
+}
+
+// Len returns the number of items.
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.items)
+}
+
+// All returns every item ordered by ascending publish time.
+func (r *Repository) All() []*Item {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Item, len(r.sorted))
+	for i, id := range r.sorted {
+		out[i] = r.items[id]
+	}
+	return out
+}
+
+// ByCategory returns the items whose top category matches, in insertion
+// order.
+func (r *Repository) ByCategory(cat string) []*Item {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := r.byCat[cat]
+	out := make([]*Item, len(ids))
+	for i, id := range ids {
+		out[i] = r.items[id]
+	}
+	return out
+}
+
+// PublishedSince returns items published at or after t, ascending.
+func (r *Repository) PublishedSince(t time.Time) []*Item {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	// Binary search over the sorted list.
+	i := sort.Search(len(r.sorted), func(i int) bool {
+		return !r.items[r.sorted[i]].Published.Before(t)
+	})
+	out := make([]*Item, 0, len(r.sorted)-i)
+	for _, id := range r.sorted[i:] {
+		out = append(out, r.items[id])
+	}
+	return out
+}
+
+// GeoItems returns the items whose geographic scope contains p.
+func (r *Repository) GeoItems(p geo.Point) []*Item {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*Item
+	for _, id := range r.sorted {
+		it := r.items[id]
+		if it.Geo != nil && geo.Distance(p, it.Geo.Center) <= it.Geo.Radius {
+			out = append(out, it)
+		}
+	}
+	return out
+}

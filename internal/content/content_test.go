@@ -1,0 +1,233 @@
+package content
+
+import (
+	"testing"
+	"time"
+
+	"pphcr/internal/asr"
+	"pphcr/internal/geo"
+	"pphcr/internal/textclass"
+)
+
+var (
+	torino = geo.Point{Lat: 45.0703, Lon: 7.6869}
+	t0     = time.Date(2016, 11, 15, 6, 0, 0, 0, time.UTC)
+)
+
+func item(id, cat string, dur time.Duration, published time.Time) *Item {
+	return &Item{
+		ID:         id,
+		Title:      "title-" + id,
+		Duration:   dur,
+		Published:  published,
+		Categories: map[string]float64{cat: 1},
+	}
+}
+
+func TestCategoriesInvariants(t *testing.T) {
+	if len(Categories) != 30 {
+		t.Fatalf("the paper specifies 30 categories, got %d", len(Categories))
+	}
+	seen := map[string]bool{}
+	for _, c := range Categories {
+		if seen[c] {
+			t.Fatalf("duplicate category %q", c)
+		}
+		seen[c] = true
+	}
+	for _, c := range []string{"art", "culture", "music", "economics"} {
+		if !IsCategory(c) {
+			t.Fatalf("%q missing (named in the paper)", c)
+		}
+	}
+	if IsCategory("quantum") {
+		t.Fatal("IsCategory accepted unknown")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindClip: "clip", KindNews: "news", KindMusic: "music",
+		KindTimeShifted: "timeshifted", Kind(42): "kind(42)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestTopCategory(t *testing.T) {
+	it := &Item{Categories: map[string]float64{"music": 0.3, "sport": 0.6, "art": 0.1}}
+	if got := it.TopCategory(); got != "sport" {
+		t.Fatalf("TopCategory = %q", got)
+	}
+	if got := (&Item{}).TopCategory(); got != "" {
+		t.Fatalf("empty TopCategory = %q", got)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	it := &Item{Duration: time.Minute, BitrateKbps: 96}
+	want := int64(96 * 1000 / 8 * 60)
+	if got := it.SizeBytes(); got != want {
+		t.Fatalf("SizeBytes = %d, want %d", got, want)
+	}
+	// Default bitrate applies when unset.
+	it2 := &Item{Duration: time.Minute}
+	if got := it2.SizeBytes(); got != want {
+		t.Fatalf("default SizeBytes = %d, want %d", got, want)
+	}
+}
+
+func TestRepositoryAddValidation(t *testing.T) {
+	r := NewRepository()
+	if err := r.Add(nil); err == nil {
+		t.Fatal("nil item accepted")
+	}
+	if err := r.Add(&Item{Duration: time.Minute}); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+	if err := r.Add(&Item{ID: "x"}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if err := r.Add(item("a", "music", time.Minute, t0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(item("a", "music", time.Minute, t0)); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestRepositoryQueries(t *testing.T) {
+	r := NewRepository()
+	// Deliberately out of publish order.
+	for _, it := range []*Item{
+		item("c", "sport", time.Minute, t0.Add(2*time.Hour)),
+		item("a", "music", time.Minute, t0),
+		item("b", "music", time.Minute, t0.Add(time.Hour)),
+	} {
+		if err := r.Add(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if it, ok := r.Get("b"); !ok || it.ID != "b" {
+		t.Fatalf("Get(b) = %v, %v", it, ok)
+	}
+	if _, ok := r.Get("zz"); ok {
+		t.Fatal("Get(zz) ok")
+	}
+	all := r.All()
+	if len(all) != 3 || all[0].ID != "a" || all[1].ID != "b" || all[2].ID != "c" {
+		t.Fatalf("All order: %v %v %v", all[0].ID, all[1].ID, all[2].ID)
+	}
+	music := r.ByCategory("music")
+	if len(music) != 2 {
+		t.Fatalf("ByCategory(music) = %d items", len(music))
+	}
+	since := r.PublishedSince(t0.Add(time.Hour))
+	if len(since) != 2 || since[0].ID != "b" {
+		t.Fatalf("PublishedSince = %d items, first %v", len(since), since[0].ID)
+	}
+}
+
+func TestRepositoryGeoItems(t *testing.T) {
+	r := NewRepository()
+	local := item("local", "regional", time.Minute, t0)
+	local.Geo = &GeoRelevance{Center: torino, Radius: 2000}
+	far := item("far", "regional", time.Minute, t0)
+	far.Geo = &GeoRelevance{Center: geo.Destination(torino, 90, 50000), Radius: 2000}
+	global := item("global", "music", time.Minute, t0)
+	for _, it := range []*Item{local, far, global} {
+		if err := r.Add(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.GeoItems(geo.Destination(torino, 0, 500))
+	if len(got) != 1 || got[0].ID != "local" {
+		t.Fatalf("GeoItems = %+v", got)
+	}
+}
+
+// trainedClassifier returns a classifier over two categories.
+func trainedClassifier(t *testing.T) *textclass.NaiveBayes {
+	t.Helper()
+	var nb textclass.NaiveBayes
+	docs := []textclass.Document{
+		{Tokens: []string{"goal", "partita", "calcio", "derby"}, Category: "sport"},
+		{Tokens: []string{"goal", "campionato", "stadio"}, Category: "sport"},
+		{Tokens: []string{"ricetta", "vino", "prosecco", "cucina"}, Category: "food"},
+		{Tokens: []string{"chef", "ricetta", "champagne"}, Category: "food"},
+	}
+	if err := nb.Train(docs); err != nil {
+		t.Fatal(err)
+	}
+	return &nb
+}
+
+func TestPipelineIngest(t *testing.T) {
+	rec, err := asr.New(0.1, asr.DefaultErrorProfile(), []string{"goal", "vino"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pipeline{Recognizer: rec, Classifier: trainedClassifier(t), Repo: NewRepository()}
+	it, err := p.Ingest(RawPodcast{
+		ID:        "decanter-001",
+		Title:     "Champagne, Cava e Prosecco",
+		Program:   "Decanter",
+		Duration:  8 * time.Minute,
+		Published: t0,
+		Speech:    "ricetta vino prosecco cucina chef champagne degustazione vino prosecco",
+		Kind:      KindClip,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.TopCategory() != "food" {
+		t.Fatalf("TopCategory = %q, want food", it.TopCategory())
+	}
+	var sum float64
+	for _, w := range it.Categories {
+		sum += w
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("category mass = %v", sum)
+	}
+	if _, ok := p.Repo.Get("decanter-001"); !ok {
+		t.Fatal("item not stored")
+	}
+}
+
+func TestPipelineWiringErrors(t *testing.T) {
+	p := &Pipeline{}
+	if _, err := p.Ingest(RawPodcast{ID: "x"}); err == nil {
+		t.Fatal("unwired pipeline accepted")
+	}
+	rec, _ := asr.New(0, asr.DefaultErrorProfile(), nil, 1)
+	p = &Pipeline{Recognizer: rec, Classifier: &textclass.NaiveBayes{}, Repo: NewRepository()}
+	if _, err := p.Ingest(RawPodcast{ID: "x", Duration: time.Minute, Speech: "ciao"}); err == nil {
+		t.Fatal("untrained classifier accepted")
+	}
+}
+
+func TestPipelineIngestAll(t *testing.T) {
+	rec, _ := asr.New(0, asr.DefaultErrorProfile(), nil, 1)
+	p := &Pipeline{Recognizer: rec, Classifier: trainedClassifier(t), Repo: NewRepository()}
+	raws := []RawPodcast{
+		{ID: "a", Duration: time.Minute, Published: t0, Speech: "goal partita"},
+		{ID: "b", Duration: time.Minute, Published: t0, Speech: "vino ricetta"},
+	}
+	items, err := p.IngestAll(raws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || p.Repo.Len() != 2 {
+		t.Fatalf("ingested %d, repo %d", len(items), p.Repo.Len())
+	}
+	// Duplicate ID in the batch stops with an error.
+	if _, err := p.IngestAll([]RawPodcast{{ID: "a", Duration: time.Minute, Speech: "goal"}}); err == nil {
+		t.Fatal("duplicate batch accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package content
+
+import (
+	"fmt"
+	"time"
+
+	"pphcr/internal/asr"
+	"pphcr/internal/textclass"
+)
+
+// RawPodcast is an editorial podcast as delivered by the broadcaster,
+// before classification: audio plus its (ground-truth) speech content.
+type RawPodcast struct {
+	ID        string
+	Title     string
+	Program   string
+	Duration  time.Duration
+	Published time.Time
+	// Speech is the spoken content; in the real system this exists only
+	// as audio and is recovered by the recognizer.
+	Speech string
+	Geo    *GeoRelevance
+	Kind   Kind
+}
+
+// Pipeline is the clip-data-management ingestion path of Fig 3: speech →
+// ASR → tokenization → Bayesian classification → repository. The
+// classifier must be trained before use.
+type Pipeline struct {
+	Recognizer *asr.Recognizer
+	Classifier *textclass.NaiveBayes
+	Repo       *Repository
+}
+
+// Ingest processes one raw podcast end to end and returns the stored
+// item. The classifier's posterior becomes the item's soft category
+// distribution.
+func (p *Pipeline) Ingest(raw RawPodcast) (*Item, error) {
+	if p.Recognizer == nil || p.Classifier == nil || p.Repo == nil {
+		return nil, fmt.Errorf("content: pipeline not fully wired")
+	}
+	recognized := p.Recognizer.TranscribeText(raw.Speech)
+	tokens := textclass.Tokenize(recognized)
+	dist := p.Classifier.Distribution(tokens)
+	if dist == nil {
+		return nil, fmt.Errorf("content: classifier untrained")
+	}
+	// Keep only the meaningful mass: categories below 1% are noise from
+	// smoothing and would pollute the preference dot products.
+	pruned := make(map[string]float64)
+	var kept float64
+	for c, w := range dist {
+		if w >= 0.01 {
+			pruned[c] = w
+			kept += w
+		}
+	}
+	if kept > 0 {
+		for c := range pruned {
+			pruned[c] /= kept
+		}
+	}
+	it := &Item{
+		ID:          raw.ID,
+		Title:       raw.Title,
+		Program:     raw.Program,
+		Kind:        raw.Kind,
+		Duration:    raw.Duration,
+		Published:   raw.Published,
+		Categories:  pruned,
+		Geo:         raw.Geo,
+		BitrateKbps: 96,
+	}
+	if err := p.Repo.Add(it); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// IngestAll ingests a batch, stopping at the first error.
+func (p *Pipeline) IngestAll(raws []RawPodcast) ([]*Item, error) {
+	out := make([]*Item, 0, len(raws))
+	for _, raw := range raws {
+		it, err := p.Ingest(raw)
+		if err != nil {
+			return out, fmt.Errorf("content: ingesting %q: %w", raw.ID, err)
+		}
+		out = append(out, it)
+	}
+	return out, nil
+}

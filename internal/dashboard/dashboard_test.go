@@ -1,0 +1,227 @@
+package dashboard
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pphcr"
+	"pphcr/internal/geo"
+	"pphcr/internal/profile"
+	"pphcr/internal/synth"
+)
+
+func newTestDashboard(t *testing.T) (*httptest.Server, *pphcr.System, *synth.World) {
+	t.Helper()
+	w, err := synth.GenerateWorld(synth.Params{
+		Seed: 5, Days: 5, Users: 2, Stations: 2, PodcastsPerDay: 15,
+		TrainingDocsPerCategory: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := pphcr.New(pphcr.Config{TrainingDocs: w.Training, Vocabulary: w.FlatVocab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, raw := range w.Corpus {
+		if _, err := sys.IngestPodcast(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(NewServer(sys).Handler())
+	t.Cleanup(ts.Close)
+	return ts, sys, w
+}
+
+// trackCommutes feeds several days of commutes into the system.
+func trackCommutes(t *testing.T, sys *pphcr.System, w *synth.World, user string, days int) {
+	t.Helper()
+	persona := w.Personas[0]
+	for d := 0; d < days; d++ {
+		day := w.Params.StartDate.AddDate(0, 0, d)
+		if wd := day.Weekday(); wd == time.Saturday || wd == time.Sunday {
+			continue
+		}
+		for _, morning := range []bool{true, false} {
+			trace, _, err := w.CommuteTrace(persona, day, morning)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, fix := range trace {
+				if err := sys.RecordFix(user, fix); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func TestTrajectorySVG(t *testing.T) {
+	ts, sys, w := newTestDashboard(t)
+	trackCommutes(t, sys, w, "lilly", 5)
+	if _, err := sys.CompactTracking("lilly"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/dashboard/trajectory?user=lilly&w=640&h=480")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := string(body)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// Raw GPS, simplified route and stay points all drawn.
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Fatalf("polylines = %d, want 2", strings.Count(svg, "<polyline"))
+	}
+	if !strings.Contains(svg, "<circle") {
+		t.Fatal("no stay-point circles")
+	}
+	if !strings.Contains(svg, "visits") {
+		t.Fatal("no visit labels")
+	}
+}
+
+func TestTrajectorySVGUnknownUser(t *testing.T) {
+	ts, _, _ := newTestDashboard(t)
+	resp, err := http.Get(ts.URL + "/dashboard/trajectory?user=nobody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestRenderSVGDegenerate(t *testing.T) {
+	// A single fix must still render (degenerate bounds get padding).
+	v := TrajectoryView{Fixes: geo.Polyline{{Lat: 45.07, Lon: 7.68}}}
+	svg := RenderSVG(v, 0, 0) // default size
+	if !strings.Contains(svg, `width="800"`) {
+		t.Fatal("default width not applied")
+	}
+}
+
+func TestRecommendationsHTML(t *testing.T) {
+	ts, sys, w := newTestDashboard(t)
+	if err := sys.RegisterUser(profile.Profile{UserID: "greg", Interests: []string{"technology"}}); err != nil {
+		t.Fatal(err)
+	}
+	nowUnix := w.Params.StartDate.AddDate(0, 0, w.Params.Days).Unix()
+	resp, err := http.Get(ts.URL + "/dashboard/recommendations?user=greg&unix=" + itoa(nowUnix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(body)
+	if !strings.Contains(html, "Recommendations for greg") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(html, "<table") || !strings.Contains(html, "Compound") {
+		t.Fatal("table missing")
+	}
+	// Missing user.
+	resp2, err := http.Get(ts.URL + "/dashboard/recommendations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing user status = %d", resp2.StatusCode)
+	}
+}
+
+func TestInjectEndpoint(t *testing.T) {
+	ts, sys, _ := newTestDashboard(t)
+	itemID := sys.Repo.All()[0].ID
+	buf, err := json.Marshal(InjectBody{UserID: "greg", ItemID: itemID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/dashboard/inject", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out map[string][]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out["pending"]) != 1 || out["pending"][0] != itemID {
+		t.Fatalf("pending = %v", out)
+	}
+	// Unknown item rejected.
+	buf2, _ := json.Marshal(InjectBody{UserID: "greg", ItemID: "missing"})
+	resp2, err := http.Post(ts.URL+"/dashboard/inject", "application/json", bytes.NewReader(buf2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown item status = %d", resp2.StatusCode)
+	}
+	// GET not allowed.
+	resp3, err := http.Get(ts.URL + "/dashboard/inject")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", resp3.StatusCode)
+	}
+}
+
+func TestPreferencesEndpoint(t *testing.T) {
+	ts, sys, _ := newTestDashboard(t)
+	if err := sys.RegisterUser(profile.Profile{UserID: "greg", Interests: []string{"technology", "economics"}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/dashboard/preferences?user=greg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var prefs map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&prefs); err != nil {
+		t.Fatal(err)
+	}
+	if prefs["technology"] <= 0 {
+		t.Fatalf("prefs = %v", prefs)
+	}
+	resp2, err := http.Get(ts.URL + "/dashboard/preferences")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing user status = %d", resp2.StatusCode)
+	}
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }

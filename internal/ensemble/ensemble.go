@@ -1,0 +1,176 @@
+// Package ensemble implements the paper's second future-work item (§3):
+// "the ensemble effect of the recommendations list" — the observation
+// that a list of individually relevant items can still be a bad list
+// (ten clips from the same program), and that list-level properties
+// matter for a radio-like experience.
+//
+// Two list composers are provided:
+//
+//   - MMR (maximal marginal relevance): greedy re-ranking balancing
+//     per-item relevance against similarity to the already-selected
+//     list, the standard diversification method;
+//   - Daypart mixer: a radio-editorial composer alternating content
+//     kinds (news first, then features, music interludes), mimicking
+//     how a human program director sequences a clock hour.
+package ensemble
+
+import (
+	"math"
+	"sort"
+
+	"pphcr/internal/recommend"
+)
+
+// Similarity returns the cosine similarity of two items' category
+// distributions in [0,1] (both non-negative vectors).
+func Similarity(a, b map[string]float64) float64 {
+	var dot, na, nb float64
+	for k, av := range a {
+		na += av * av
+		if bv, ok := b[k]; ok {
+			dot += av * bv
+		}
+	}
+	for _, bv := range b {
+		nb += bv * bv
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na) / math.Sqrt(nb)
+}
+
+// MMR re-ranks scored items with maximal marginal relevance:
+//
+//	argmax_i  λ·relevance(i) − (1−λ)·max_{j∈selected} sim(i, j)
+//
+// lambda=1 reproduces pure relevance ranking; lambda→0 maximizes
+// diversity. k ≤ 0 re-ranks the whole list.
+func MMR(ranked []recommend.Scored, lambda float64, k int) []recommend.Scored {
+	if lambda < 0 {
+		lambda = 0
+	}
+	if lambda > 1 {
+		lambda = 1
+	}
+	n := len(ranked)
+	if k <= 0 || k > n {
+		k = n
+	}
+	remaining := append([]recommend.Scored(nil), ranked...)
+	out := make([]recommend.Scored, 0, k)
+	for len(out) < k && len(remaining) > 0 {
+		bestIdx, bestScore := -1, math.Inf(-1)
+		for i, cand := range remaining {
+			maxSim := 0.0
+			for _, sel := range out {
+				if s := Similarity(cand.Item.Categories, sel.Item.Categories); s > maxSim {
+					maxSim = s
+				}
+			}
+			score := lambda*cand.Compound - (1-lambda)*maxSim
+			if score > bestScore || (score == bestScore && bestIdx >= 0 && cand.Item.ID < remaining[bestIdx].Item.ID) {
+				bestIdx, bestScore = i, score
+			}
+		}
+		out = append(out, remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return out
+}
+
+// Diversity measures a list's intra-list diversity: 1 − mean pairwise
+// similarity. A single-item or empty list scores 1 (vacuously diverse).
+func Diversity(items []recommend.Scored) float64 {
+	n := len(items)
+	if n < 2 {
+		return 1
+	}
+	var sum float64
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += Similarity(items[i].Item.Categories, items[j].Item.Categories)
+			pairs++
+		}
+	}
+	return 1 - sum/float64(pairs)
+}
+
+// CategoryCoverage returns the number of distinct top categories in the
+// list — the blunt editorial measure of variety.
+func CategoryCoverage(items []recommend.Scored) int {
+	seen := map[string]bool{}
+	for _, sc := range items {
+		seen[sc.Item.TopCategory()] = true
+	}
+	return len(seen)
+}
+
+// MeanRelevance returns the list's mean compound score (0 for empty).
+func MeanRelevance(items []recommend.Scored) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, sc := range items {
+		sum += sc.Compound
+	}
+	return sum / float64(len(items))
+}
+
+// DaypartMix composes a list the way a program clock would: it groups
+// candidates by kind, then emits them in the editorial rotation
+// news → clip → music → clip..., falling back to the best remaining item
+// when a slot's kind is exhausted. Within each kind the relevance order
+// is preserved.
+func DaypartMix(ranked []recommend.Scored, k int) []recommend.Scored {
+	if k <= 0 || k > len(ranked) {
+		k = len(ranked)
+	}
+	byKind := map[string][]recommend.Scored{}
+	var kinds []string
+	for _, sc := range ranked {
+		kind := sc.Item.Kind.String()
+		if _, ok := byKind[kind]; !ok {
+			kinds = append(kinds, kind)
+		}
+		byKind[kind] = append(byKind[kind], sc)
+	}
+	sort.Strings(kinds)
+	rotation := []string{"news", "clip", "music", "clip"}
+	out := make([]recommend.Scored, 0, k)
+	pop := func(kind string) (recommend.Scored, bool) {
+		list := byKind[kind]
+		if len(list) == 0 {
+			return recommend.Scored{}, false
+		}
+		sc := list[0]
+		byKind[kind] = list[1:]
+		return sc, true
+	}
+	popAny := func() (recommend.Scored, bool) {
+		best := recommend.Scored{Compound: -1}
+		bestKind := ""
+		for _, kind := range kinds {
+			if list := byKind[kind]; len(list) > 0 && list[0].Compound > best.Compound {
+				best, bestKind = list[0], kind
+			}
+		}
+		if bestKind == "" {
+			return recommend.Scored{}, false
+		}
+		byKind[bestKind] = byKind[bestKind][1:]
+		return best, true
+	}
+	for slot := 0; len(out) < k; slot++ {
+		sc, ok := pop(rotation[slot%len(rotation)])
+		if !ok {
+			if sc, ok = popAny(); !ok {
+				break
+			}
+		}
+		out = append(out, sc)
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package ensemble
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pphcr/internal/content"
+	"pphcr/internal/recommend"
+)
+
+func scored(id, cat string, kind content.Kind, compound float64) recommend.Scored {
+	return recommend.Scored{
+		Item: &content.Item{
+			ID: id, Kind: kind, Duration: 5 * time.Minute,
+			Categories: map[string]float64{cat: 1},
+		},
+		Compound: compound,
+	}
+}
+
+func ids(list []recommend.Scored) []string {
+	out := make([]string, len(list))
+	for i, sc := range list {
+		out[i] = sc.Item.ID
+	}
+	return out
+}
+
+func TestSimilarity(t *testing.T) {
+	a := map[string]float64{"food": 1}
+	if got := Similarity(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self similarity = %v", got)
+	}
+	b := map[string]float64{"sport": 1}
+	if got := Similarity(a, b); got != 0 {
+		t.Fatalf("disjoint similarity = %v", got)
+	}
+	if got := Similarity(nil, a); got != 0 {
+		t.Fatalf("empty similarity = %v", got)
+	}
+}
+
+func TestMMRLambda1IsRelevanceOrder(t *testing.T) {
+	list := []recommend.Scored{
+		scored("a", "food", content.KindClip, 0.9),
+		scored("b", "food", content.KindClip, 0.8),
+		scored("c", "sport", content.KindClip, 0.7),
+	}
+	got := MMR(list, 1, 0)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i].Item.ID != want[i] {
+			t.Fatalf("λ=1 order = %v", ids(got))
+		}
+	}
+}
+
+func TestMMRDiversifies(t *testing.T) {
+	// Three near-identical food items dominate relevance; a sport item
+	// trails. With diversity pressure the sport item must move up to #2.
+	list := []recommend.Scored{
+		scored("f1", "food", content.KindClip, 0.90),
+		scored("f2", "food", content.KindClip, 0.89),
+		scored("f3", "food", content.KindClip, 0.88),
+		scored("s1", "sport", content.KindClip, 0.60),
+	}
+	got := MMR(list, 0.5, 0)
+	if got[0].Item.ID != "f1" {
+		t.Fatalf("first should stay most relevant: %v", ids(got))
+	}
+	if got[1].Item.ID != "s1" {
+		t.Fatalf("diversification failed: %v", ids(got))
+	}
+	// Diversity improves relative to the relevance-only prefix.
+	pure := MMR(list, 1, 3)
+	div := MMR(list, 0.5, 3)
+	if Diversity(div) <= Diversity(pure) {
+		t.Fatalf("MMR did not raise diversity: %v vs %v", Diversity(div), Diversity(pure))
+	}
+}
+
+func TestMMRClampsAndBounds(t *testing.T) {
+	list := []recommend.Scored{
+		scored("a", "food", content.KindClip, 0.9),
+		scored("b", "sport", content.KindClip, 0.8),
+	}
+	if got := MMR(list, -5, 1); len(got) != 1 {
+		t.Fatalf("k=1 returned %d", len(got))
+	}
+	if got := MMR(list, 5, 10); len(got) != 2 {
+		t.Fatalf("k>n returned %d", len(got))
+	}
+	if got := MMR(nil, 0.5, 3); len(got) != 0 {
+		t.Fatalf("empty input returned %d", len(got))
+	}
+	// Input list must not be reordered in place.
+	MMR(list, 0.1, 0)
+	if list[0].Item.ID != "a" {
+		t.Fatal("MMR mutated its input")
+	}
+}
+
+func TestDiversityMeasure(t *testing.T) {
+	same := []recommend.Scored{
+		scored("a", "food", content.KindClip, 1),
+		scored("b", "food", content.KindClip, 1),
+	}
+	if got := Diversity(same); math.Abs(got) > 1e-12 {
+		t.Fatalf("identical list diversity = %v", got)
+	}
+	mixed := []recommend.Scored{
+		scored("a", "food", content.KindClip, 1),
+		scored("b", "sport", content.KindClip, 1),
+	}
+	if got := Diversity(mixed); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("disjoint list diversity = %v", got)
+	}
+	if Diversity(nil) != 1 || Diversity(same[:1]) != 1 {
+		t.Fatal("degenerate diversity should be 1")
+	}
+}
+
+func TestCategoryCoverageAndMeanRelevance(t *testing.T) {
+	list := []recommend.Scored{
+		scored("a", "food", content.KindClip, 0.8),
+		scored("b", "food", content.KindClip, 0.6),
+		scored("c", "sport", content.KindClip, 0.4),
+	}
+	if got := CategoryCoverage(list); got != 2 {
+		t.Fatalf("coverage = %d", got)
+	}
+	if got := MeanRelevance(list); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("mean relevance = %v", got)
+	}
+	if MeanRelevance(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestDaypartMixRotation(t *testing.T) {
+	list := []recommend.Scored{
+		scored("c1", "culture", content.KindClip, 0.9),
+		scored("c2", "culture", content.KindClip, 0.8),
+		scored("n1", "politics", content.KindNews, 0.7),
+		scored("m1", "music", content.KindMusic, 0.6),
+		scored("c3", "culture", content.KindClip, 0.5),
+	}
+	got := DaypartMix(list, 4)
+	// Rotation news → clip → music → clip.
+	wantKinds := []content.Kind{content.KindNews, content.KindClip, content.KindMusic, content.KindClip}
+	for i, k := range wantKinds {
+		if got[i].Item.Kind != k {
+			t.Fatalf("slot %d kind = %v, want %v (list %v)", i, got[i].Item.Kind, k, ids(got))
+		}
+	}
+	// Within kinds, relevance order preserved.
+	if got[1].Item.ID != "c1" {
+		t.Fatalf("clip order broken: %v", ids(got))
+	}
+}
+
+func TestDaypartMixFallsBackWhenKindExhausted(t *testing.T) {
+	list := []recommend.Scored{
+		scored("c1", "culture", content.KindClip, 0.9),
+		scored("c2", "culture", content.KindClip, 0.8),
+		scored("c3", "culture", content.KindClip, 0.7),
+	}
+	got := DaypartMix(list, 3)
+	if len(got) != 3 {
+		t.Fatalf("fallback lost items: %v", ids(got))
+	}
+	if got[0].Item.ID != "c1" {
+		t.Fatalf("fallback should take best remaining: %v", ids(got))
+	}
+	if got := DaypartMix(nil, 5); len(got) != 0 {
+		t.Fatalf("empty input returned %d", len(got))
+	}
+}
+
+func BenchmarkMMR100(b *testing.B) {
+	cats := []string{"food", "sport", "music", "culture", "politics"}
+	var list []recommend.Scored
+	for i := 0; i < 100; i++ {
+		list = append(list, scored(
+			time.Duration(i).String(), cats[i%len(cats)], content.KindClip,
+			1-float64(i)*0.005))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MMR(list, 0.7, 10)
+	}
+}
+
+// TestMMRIsPermutationSubset: for any λ and k, MMR's output is a subset
+// of the input with no duplicates and the requested length.
+func TestMMRIsPermutationSubset(t *testing.T) {
+	cats := []string{"food", "sport", "music", "culture"}
+	f := func(seed int64, lambdaRaw float64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		input := make([]recommend.Scored, n)
+		inputIDs := map[string]bool{}
+		for i := range input {
+			id := fmt.Sprintf("it-%d", i)
+			input[i] = scored(id, cats[rng.Intn(len(cats))], content.KindClip, rng.Float64())
+			inputIDs[id] = true
+		}
+		lambda := math.Mod(math.Abs(lambdaRaw), 1)
+		k := int(kRaw % 40)
+		out := MMR(input, lambda, k)
+		wantLen := k
+		if k <= 0 || k > n {
+			wantLen = n
+		}
+		if len(out) != wantLen {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, sc := range out {
+			if !inputIDs[sc.Item.ID] || seen[sc.Item.ID] {
+				return false
+			}
+			seen[sc.Item.ID] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

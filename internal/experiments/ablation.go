@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pphcr/internal/client"
+	"pphcr/internal/content"
+	"pphcr/internal/core"
+	"pphcr/internal/distraction"
+	"pphcr/internal/geo"
+	"pphcr/internal/recommend"
+	"pphcr/internal/roadnet"
+)
+
+// RunA1 ablates the compound score's context weight λ: a pure-content
+// ranker ignores on-route local items, a pure-context ranker ignores
+// taste. The table shows the trade-off the paper's weighted combination
+// is designed to balance.
+func RunA1(cfg Config) error {
+	e, err := newEnv(cfg)
+	if err != nil {
+		return err
+	}
+	persona := e.World.Personas[0]
+	l := client.NewListener(persona.Profile.UserID, persona.TrueInterests, persona.Seed)
+	if _, _, err := warmUp(e, 40, nil); err != nil {
+		return err
+	}
+	// Scenario: a driving context along the commute route, with 10
+	// on-route geo items planted among the organic candidates. The
+	// planted items use a category the persona is *neutral* about (mild
+	// interest 0.3, far below their favorites), so pure content ranking
+	// ignores them and only context weight can pull them in.
+	prefs := e.Sys.Preferences(persona.Profile.UserID, e.Now)
+	plantCat := ""
+	interests := map[string]bool{}
+	for _, c := range persona.Profile.Interests {
+		interests[c] = true
+	}
+	for _, c := range content.Categories {
+		if !interests[c] && prefs[c] > -0.05 && prefs[c] < 0.05 {
+			plantCat = c
+			break
+		}
+	}
+	if plantCat == "" {
+		return fmt.Errorf("no taste-neutral category found")
+	}
+	prefs[plantCat] = 0.3
+	route := geo.Polyline{
+		persona.Home,
+		geo.Interpolate(persona.Home, persona.Work, 0.5),
+		persona.Work,
+	}
+	for i := 0; i < 10; i++ {
+		f := 0.1 + 0.08*float64(i)
+		it := &content.Item{
+			ID:    fmt.Sprintf("a1-geo-%02d", i),
+			Title: fmt.Sprintf("local story %d", i),
+			Kind:  content.KindNews, Duration: 4 * time.Minute,
+			Published:  e.Now.Add(-3 * time.Hour),
+			Categories: map[string]float64{plantCat: 1},
+			Geo:        &content.GeoRelevance{Center: route.At(f), Radius: 700},
+		}
+		if err := e.Sys.Repo.Add(it); err != nil {
+			return err
+		}
+	}
+	ctx := recommend.Context{
+		Now: e.Now, Position: persona.Home, Route: route,
+		SpeedMS: 12, DeltaT: 25 * time.Minute, Driving: true,
+	}
+
+	candidates := e.Sys.Candidates(e.Now)
+	tb := newTable("λ", "planted on-route items in top-10", "mean taste affinity of top-10")
+	var plantedAt0, plantedAt1 int
+	for _, lambda := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		scorer := recommend.NewScorer(lambda)
+		ranked := scorer.Rank(prefs, candidates, ctx, 10)
+		planted := 0
+		var affSum float64
+		for _, sc := range ranked {
+			if strings.HasPrefix(sc.Item.ID, "a1-geo-") {
+				planted++
+			}
+			affSum += l.Affinity(sc.Item.Categories)
+		}
+		if lambda == 0 {
+			plantedAt0 = planted
+		}
+		if lambda == 1 {
+			plantedAt1 = planted
+		}
+		tb.add(fmt.Sprintf("%.2f", lambda), fmt.Sprintf("%d", planted),
+			fmt.Sprintf("%.3f", affSum/float64(len(ranked))))
+	}
+	tb.write(cfg.Out)
+	fmt.Fprintf(cfg.Out, "\nshape check: context weight pulls on-route items into the list (λ=1: %d > λ=0: %d): %v\n",
+		plantedAt1, plantedAt0, plantedAt1 > plantedAt0)
+	if plantedAt1 <= plantedAt0 {
+		return fmt.Errorf("increasing λ did not increase on-route item share (%d vs %d)", plantedAt1, plantedAt0)
+	}
+	return nil
+}
+
+// RunA2 ablates the distraction constraints: with the junction timeline
+// enforced, no content transition may start inside a busy window; without
+// it, transitions land on junctions. The cost of safety is measured as
+// lost plan value.
+func RunA2(cfg Config) error {
+	e, err := newEnv(cfg)
+	if err != nil {
+		return err
+	}
+	persona := e.World.Personas[0]
+	if _, _, err := warmUp(e, 40, nil); err != nil {
+		return err
+	}
+	// Build a junction-dense route: corner to corner straight through the
+	// downtown grid, an intersection every block.
+	city := e.World.City
+	rows, cols := len(city.GridNodes), len(city.GridNodes[0])
+	routeNet, err := city.Graph.ShortestPath(city.GridNodes[1][1], city.GridNodes[rows-2][cols-2])
+	if err != nil {
+		return err
+	}
+	avgSpeed := 10.0
+	complexity := 0.5
+	tl := distraction.Build(routeNet.Junctions, routeNet.Length, avgSpeed, complexity, distraction.DefaultParams())
+	deltaT := tl.TripDuration
+	ctx := recommend.Context{
+		Now: e.Now, Position: routeNet.Polyline[0], Route: routeNet.Polyline,
+		SpeedMS: avgSpeed, DeltaT: deltaT, Driving: true,
+	}
+	prefs := e.Sys.Preferences(persona.Profile.UserID, e.Now)
+	planner := core.NewPlanner(e.Sys.Scorer)
+	req := core.Request{Prefs: prefs, Candidates: e.Sys.Candidates(e.Now), Ctx: ctx}
+
+	unsafe := planner.Plan(req) // no timeline: transitions unconstrained
+	req.Distraction = &tl
+	safe := planner.Plan(req)
+
+	countBusyStarts := func(p core.Plan) int {
+		n := 0
+		for _, it := range p.Items {
+			if !tl.CalmAt(it.StartOffset, planner.DistractionThreshold) {
+				n++
+			}
+		}
+		return n
+	}
+	busyUnsafe := countBusyStarts(unsafe)
+	busySafe := countBusyStarts(safe)
+	tb := newTable("variant", "items", "starts in busy windows", "objective value", "ΔT used")
+	tb.add("without distraction constraints", fmt.Sprintf("%d", len(unsafe.Items)),
+		fmt.Sprintf("%d", busyUnsafe), fmt.Sprintf("%.1f", unsafe.TotalValue),
+		unsafe.Used.Round(time.Second).String())
+	tb.add("with distraction constraints", fmt.Sprintf("%d", len(safe.Items)),
+		fmt.Sprintf("%d", busySafe), fmt.Sprintf("%.1f", safe.TotalValue),
+		safe.Used.Round(time.Second).String())
+	tb.write(cfg.Out)
+	fmt.Fprintf(cfg.Out, "\nroute: %.1f km, %d junctions (%s...), busy time %v of %v\n",
+		routeNet.Length/1000, len(routeNet.Junctions), junctionSummary(routeNet),
+		tl.BusyTime(planner.DistractionThreshold).Round(time.Second), deltaT.Round(time.Second))
+	if busySafe != 0 {
+		return fmt.Errorf("constrained plan still starts %d items in busy windows", busySafe)
+	}
+	valueCost := 0.0
+	if unsafe.TotalValue > 0 {
+		valueCost = 1 - safe.TotalValue/unsafe.TotalValue
+	}
+	fmt.Fprintf(cfg.Out, "safety cost: %.1f%% of objective value\n", valueCost*100)
+	return nil
+}
+
+func junctionSummary(r roadnet.Route) string {
+	var inter, round int
+	for _, j := range r.Junctions {
+		switch j.Kind {
+		case roadnet.Intersection:
+			inter++
+		case roadnet.Roundabout:
+			round++
+		}
+	}
+	return fmt.Sprintf("%d intersections, %d roundabouts", inter, round)
+}

@@ -1,0 +1,268 @@
+// Package experiments regenerates every figure and evaluates every
+// quantitative claim of the paper (see DESIGN.md §4 for the index).
+// Each experiment prints a table in a stable text format; EXPERIMENTS.md
+// records the outputs next to what the paper shows.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"pphcr"
+	"pphcr/internal/synth"
+	"pphcr/internal/trajectory"
+)
+
+// Config drives an experiment run.
+type Config struct {
+	// Out receives the experiment report.
+	Out io.Writer
+	// Seed makes runs reproducible.
+	Seed int64
+	// Quick shrinks workloads for CI/tests.
+	Quick bool
+}
+
+func (c Config) seed() int64 {
+	if c.Seed == 0 {
+		return 2017 // the paper's year
+	}
+	return c.Seed
+}
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Config) error
+}
+
+// All returns every experiment in presentation order.
+func All() []Runner {
+	return []Runner{
+		{"F1", "Fig 1 — audio replacement concept", RunF1},
+		{"F2", "Fig 2 — proactive trip allocation", RunF2},
+		{"F3", "Fig 3 — architecture pipeline", RunF3},
+		{"F4", "Fig 4 — Lilly timeline with time-shift", RunF4},
+		{"F5", "Fig 5 — dashboard trajectory map", RunF5},
+		{"F6", "Fig 6 — editorial injection", RunF6},
+		{"Q1", "Ranking quality vs baselines", RunQ1},
+		{"Q2", "Listening behaviour simulation", RunQ2},
+		{"Q3", "Mobility prediction vs history", RunQ3},
+		{"Q4", "Classifier accuracy vs ASR WER", RunQ4},
+		{"Q5", "Network resource optimization", RunQ5},
+		{"Q6", "Tracking compaction quality", RunQ6},
+		{"A1", "Ablation: context weight λ", RunA1},
+		{"A2", "Ablation: distraction constraints", RunA2},
+		{"A3", "Extension: recommendation-list ensemble (MMR, daypart)", RunA3},
+		{"A4", "Extension: archive geo-relevance estimation", RunA4},
+		{"A5", "Extension: richer contexts (weather, activity)", RunA5},
+	}
+}
+
+// RunAll executes every experiment against the same config.
+func RunAll(cfg Config) error {
+	for _, r := range All() {
+		fmt.Fprintf(cfg.Out, "\n================================================================\n")
+		fmt.Fprintf(cfg.Out, "%s: %s\n", r.ID, r.Title)
+		fmt.Fprintf(cfg.Out, "================================================================\n")
+		if err := r.Run(cfg); err != nil {
+			return fmt.Errorf("experiment %s: %w", r.ID, err)
+		}
+	}
+	return nil
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cfg Config) error {
+	for _, r := range All() {
+		if r.ID == id {
+			return r.Run(cfg)
+		}
+	}
+	return fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// env is the shared evaluation environment: a synthetic world plus a
+// fully loaded System.
+type env struct {
+	World *synth.World
+	Sys   *pphcr.System
+	// Now is "evaluation time": just after the last corpus item.
+	Now time.Time
+}
+
+// worldParams sizes the world by mode.
+func worldParams(cfg Config) synth.Params {
+	p := synth.Params{Seed: cfg.seed()}
+	if cfg.Quick {
+		p.Days = 5
+		p.Users = 6
+		p.Stations = 4
+		p.PodcastsPerDay = 40
+		p.TrainingDocsPerCategory = 10
+	} else {
+		p.Days = 14
+		p.Users = 20
+		p.Stations = 10
+		p.PodcastsPerDay = 100
+		p.TrainingDocsPerCategory = 30
+	}
+	return p
+}
+
+// newEnv generates the world, builds the system and ingests the corpus.
+func newEnv(cfg Config) (*env, error) {
+	w, err := synth.GenerateWorld(worldParams(cfg))
+	if err != nil {
+		return nil, err
+	}
+	sys, err := pphcr.New(pphcr.Config{
+		TrainingDocs: w.Training,
+		Vocabulary:   w.FlatVocab,
+		Seed:         cfg.seed(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	horizon := w.Params.StartDate.AddDate(0, 0, w.Params.Days+8)
+	for _, svc := range w.Directory.Services() {
+		if err := sys.Directory.AddService(svc); err != nil {
+			return nil, err
+		}
+		for _, p := range w.Directory.ProgramsBetween(svc.ID, w.Params.StartDate, horizon) {
+			if err := sys.Directory.AddProgram(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var last time.Time
+	for _, raw := range w.Corpus {
+		if _, err := sys.IngestPodcast(raw); err != nil {
+			return nil, err
+		}
+		if raw.Published.After(last) {
+			last = raw.Published
+		}
+	}
+	for _, p := range w.Personas {
+		if err := sys.RegisterUser(p.Profile); err != nil {
+			return nil, err
+		}
+	}
+	return &env{World: w, Sys: sys, Now: last.Add(time.Hour)}, nil
+}
+
+// trackPersona feeds `days` of the persona's commutes into the tracker
+// and compacts. It returns the last day used.
+func (e *env) trackPersona(p *synth.Persona, days int) (time.Time, error) {
+	var lastDay time.Time
+	for d := 0; d < days; d++ {
+		day := e.World.Params.StartDate.AddDate(0, 0, d)
+		if wd := day.Weekday(); wd == time.Saturday || wd == time.Sunday {
+			continue
+		}
+		lastDay = day
+		for _, morning := range []bool{true, false} {
+			trace, _, err := e.World.CommuteTrace(p, day, morning)
+			if err != nil {
+				return time.Time{}, err
+			}
+			for _, fix := range trace {
+				if err := e.Sys.RecordFix(p.Profile.UserID, fix); err != nil {
+					return time.Time{}, err
+				}
+			}
+		}
+	}
+	if _, err := e.Sys.CompactTracking(p.Profile.UserID); err != nil {
+		return time.Time{}, err
+	}
+	return lastDay, nil
+}
+
+// partialCommute returns the first `minutes` of a commute trace for a
+// given day, plus the full trace and route.
+func (e *env) partialCommute(p *synth.Persona, day time.Time, morning bool, minutes int) (partial, full trajectory.Trace, err error) {
+	full, _, err = e.World.CommuteTrace(p, day, morning)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, fix := range full {
+		if fix.Time.Sub(full[0].Time) > time.Duration(minutes)*time.Minute {
+			break
+		}
+		partial = append(partial, fix)
+	}
+	return partial, full, nil
+}
+
+// table is a minimal fixed-width text table writer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, args ...interface{}) {
+	t.rows = append(t.rows, []string{fmt.Sprintf(format, args...)})
+}
+
+func (t *table) write(out io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(out, "  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(out, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprint(out, c)
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i, w := range widths {
+		sep[i] = repeat('-', w)
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+}
+
+func repeat(ch byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ch
+	}
+	return string(b)
+}
+
+// sortedKeys returns map keys sorted (for deterministic reports).
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg(buf *bytes.Buffer) Config {
+	return Config{Out: buf, Seed: 2017, Quick: true}
+}
+
+// Each experiment must run green in Quick mode and emit its table. The
+// shape checks (who wins, what direction the curve bends) are enforced
+// inside the Run functions themselves, so a passing run is a passing
+// reproduction.
+func TestExperimentsQuick(t *testing.T) {
+	cases := []struct {
+		id       string
+		expected []string // substrings that must appear in the report
+	}{
+		{"F1", []string{"seamless: yes", "clip"}},
+		{"F2", []string{"predicted ΔT", "ΔT used", "deadline"}},
+		{"F3", []string{"ASR → Bayes pipeline", "recommender"}},
+		{"F4", []string{"10:42:30", "timeshift", "max buffer depth"}},
+		{"F5", []string{"staying points (DBSCAN)", "SVG artifact"}},
+		{"F6", []string{"pinned at rank 1", "inject-once"}},
+		{"Q1", []string{"pphcr-compound", "random", "P@5"}},
+		{"Q2", []string{"linear radio", "pphcr (proactive)", "skip rate"}},
+		{"Q3", []string{"dest top-1 acc", "ΔT MAPE"}},
+		{"Q4", []string{"WER", "segment accuracy", "full-doc accuracy"}},
+		{"Q5", []string{"hybrid content radio", "pure IP streaming", "saved"}},
+		{"Q6", []string{"DBSCAN", "RDP", "max error"}},
+		{"A1", []string{"λ", "on-route items in top-10"}},
+		{"A2", []string{"with distraction constraints", "starts in busy windows"}},
+		{"A3", []string{"MMR", "daypart mixer", "diversity"}},
+		{"A4", []string{"annotated", "false positives"}},
+		{"A5", []string{"driving, snow", "walking", "info items in top-10"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(c.id, quickCfg(&buf)); err != nil {
+				t.Fatalf("%s failed: %v\noutput so far:\n%s", c.id, err, buf.String())
+			}
+			out := buf.String()
+			for _, want := range c.expected {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s output missing %q:\n%s", c.id, want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("ZZ", quickCfg(&buf)); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestAllRegistryDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range All() {
+		if seen[r.ID] {
+			t.Fatalf("duplicate experiment %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Title == "" || r.Run == nil {
+			t.Fatalf("experiment %s incomplete", r.ID)
+		}
+	}
+	if len(seen) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(seen))
+	}
+}

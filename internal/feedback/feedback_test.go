@@ -1,0 +1,194 @@
+package feedback
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2016, 11, 15, 8, 0, 0, 0, time.UTC)
+
+func TestKindStringAndWeight(t *testing.T) {
+	if ImplicitListen.String() != "listen" || Skip.String() != "skip" ||
+		Like.String() != "like" || Dislike.String() != "dislike" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(9).String() == "" || Kind(9).Weight() != 0 {
+		t.Fatal("unknown kind handling wrong")
+	}
+	if Like.Weight() <= ImplicitListen.Weight() {
+		t.Fatal("explicit like must outweigh implicit listen")
+	}
+	if Skip.Weight() >= 0 || Dislike.Weight() >= 0 {
+		t.Fatal("negative signals must be negative")
+	}
+	if -Skip.Weight() <= ImplicitListen.Weight() {
+		t.Fatal("a skip must hurt more than a listen helps")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.Append(Event{}); err == nil {
+		t.Fatal("empty UserID accepted")
+	}
+	if err := s.Append(Event{UserID: "u", ItemID: "i", Kind: Like, At: t0}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.ByUser("u"); len(got) != 1 || got[0].ItemID != "i" {
+		t.Fatalf("ByUser = %+v", got)
+	}
+	if got := s.ByUser("nobody"); len(got) != 0 {
+		t.Fatalf("ByUser(nobody) = %+v", got)
+	}
+}
+
+func TestPreferencesAccumulate(t *testing.T) {
+	s := NewStore()
+	cat := map[string]float64{"food": 1}
+	for i := 0; i < 3; i++ {
+		if err := s.Append(Event{UserID: "lilly", ItemID: "x", Kind: Like, At: t0, Categories: cat}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prefs := s.Preferences("lilly", t0, DefaultPreferenceParams())
+	if prefs["food"] <= 2.9 { // 3 likes × weight 1 × decay ~1
+		t.Fatalf("food pref = %v", prefs["food"])
+	}
+}
+
+func TestPreferencesDecay(t *testing.T) {
+	s := NewStore()
+	cat := map[string]float64{"sport": 1}
+	if err := s.Append(Event{UserID: "greg", Kind: Like, At: t0, Categories: cat}); err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultPreferenceParams()
+	now := s.Preferences("greg", t0, params)["sport"]
+	later := s.Preferences("greg", t0.Add(14*24*time.Hour), params)["sport"]
+	if math.Abs(later-now/2) > 0.01 {
+		t.Fatalf("half-life decay broken: now=%v later=%v", now, later)
+	}
+	// Future events (clock skew) are not amplified.
+	skewed := s.Preferences("greg", t0.Add(-time.Hour), params)["sport"]
+	if skewed > now+1e-9 {
+		t.Fatalf("future event amplified: %v > %v", skewed, now)
+	}
+}
+
+func TestPreferencesNegativeSignals(t *testing.T) {
+	s := NewStore()
+	cat := map[string]float64{"sport": 1}
+	for i := 0; i < 5; i++ {
+		if err := s.Append(Event{UserID: "greg", Kind: Skip, At: t0, Categories: cat}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prefs := s.Preferences("greg", t0, DefaultPreferenceParams())
+	if prefs["sport"] >= 0 {
+		t.Fatalf("skipped category should be negative: %v", prefs["sport"])
+	}
+}
+
+func TestPreferencesSeedBlend(t *testing.T) {
+	s := NewStore()
+	params := DefaultPreferenceParams()
+	params.Seed = map[string]float64{"technology": 0.5, "economics": 0.5}
+	prefs := s.Preferences("newuser", t0, params)
+	if math.Abs(prefs["technology"]-0.5) > 1e-9 {
+		t.Fatalf("seed not applied: %v", prefs)
+	}
+	// SeedWeight scales the prior.
+	params.SeedWeight = 2
+	prefs = s.Preferences("newuser", t0, params)
+	if math.Abs(prefs["technology"]-1.0) > 1e-9 {
+		t.Fatalf("seed weight not applied: %v", prefs)
+	}
+}
+
+func TestPreferencesSoftCategories(t *testing.T) {
+	s := NewStore()
+	cat := map[string]float64{"food": 0.7, "culture": 0.3}
+	if err := s.Append(Event{UserID: "u", Kind: Like, At: t0, Categories: cat}); err != nil {
+		t.Fatal(err)
+	}
+	prefs := s.Preferences("u", t0, DefaultPreferenceParams())
+	if math.Abs(prefs["food"]-0.7) > 1e-9 || math.Abs(prefs["culture"]-0.3) > 1e-9 {
+		t.Fatalf("soft shares wrong: %v", prefs)
+	}
+}
+
+func TestPreferencesZeroHalfLifeFallsBack(t *testing.T) {
+	s := NewStore()
+	if err := s.Append(Event{UserID: "u", Kind: Like, At: t0, Categories: map[string]float64{"art": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	prefs := s.Preferences("u", t0, PreferenceParams{}) // zero params
+	if prefs["art"] <= 0 {
+		t.Fatalf("fallback params broke preferences: %v", prefs)
+	}
+}
+
+func TestSkipRate(t *testing.T) {
+	s := NewStore()
+	add := func(kind Kind, at time.Time) {
+		if err := s.Append(Event{UserID: "u", Kind: kind, At: at}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(ImplicitListen, t0)
+	add(ImplicitListen, t0.Add(time.Minute))
+	add(Skip, t0.Add(2*time.Minute))
+	add(Like, t0.Add(3*time.Minute)) // explicit: not part of skip rate
+	add(Skip, t0.Add(2*time.Hour))   // outside window
+	rate, ok := s.SkipRate("u", t0, t0.Add(time.Hour))
+	if !ok {
+		t.Fatal("no rate")
+	}
+	if math.Abs(rate-1.0/3) > 1e-9 {
+		t.Fatalf("rate = %v, want 1/3", rate)
+	}
+	if _, ok := s.SkipRate("nobody", t0, t0.Add(time.Hour)); ok {
+		t.Fatal("rate for empty window should be !ok")
+	}
+}
+
+func TestTopCategories(t *testing.T) {
+	s := NewStore()
+	add := func(cat string, kind Kind, n int) {
+		for i := 0; i < n; i++ {
+			if err := s.Append(Event{UserID: "u", Kind: kind, At: t0, Categories: map[string]float64{cat: 1}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add("food", Like, 3)
+	add("culture", Like, 2)
+	add("sport", Skip, 4) // negative — must not appear
+	got := s.TopCategories("u", t0, DefaultPreferenceParams(), 5)
+	if len(got) != 2 || got[0] != "food" || got[1] != "culture" {
+		t.Fatalf("TopCategories = %v", got)
+	}
+	if got := s.TopCategories("u", t0, DefaultPreferenceParams(), 1); len(got) != 1 {
+		t.Fatalf("k=1 returned %v", got)
+	}
+}
+
+func BenchmarkPreferences(b *testing.B) {
+	s := NewStore()
+	cat := map[string]float64{"food": 0.5, "culture": 0.5}
+	for i := 0; i < 1000; i++ {
+		if err := s.Append(Event{UserID: "u", Kind: ImplicitListen, At: t0.Add(time.Duration(i) * time.Minute), Categories: cat}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	params := DefaultPreferenceParams()
+	now := t0.Add(24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Preferences("u", now, params)
+	}
+}

@@ -1,0 +1,49 @@
+package feedback
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// snapshot is the on-disk shape: per-user event logs in insertion order.
+type snapshot struct {
+	Users map[string][]Event `json:"users"`
+}
+
+// Snapshot serializes the whole feedback DB as JSON.
+func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	snap := snapshot{Users: make(map[string][]Event, len(s.byUser))}
+	for user, events := range s.byUser {
+		snap.Users[user] = append([]Event(nil), events...)
+	}
+	s.mu.RUnlock()
+	return json.NewEncoder(w).Encode(snap)
+}
+
+// Restore loads a snapshot into an empty store.
+func (s *Store) Restore(rd io.Reader) error {
+	if s.Len() != 0 {
+		return fmt.Errorf("feedback: restore requires an empty store (have %d events)", s.Len())
+	}
+	var snap snapshot
+	if err := json.NewDecoder(rd).Decode(&snap); err != nil {
+		return fmt.Errorf("feedback: decoding snapshot: %w", err)
+	}
+	// Deterministic replay order across users.
+	users := make([]string, 0, len(snap.Users))
+	for u := range snap.Users {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		for _, e := range snap.Users[u] {
+			if err := s.Append(e); err != nil {
+				return fmt.Errorf("feedback: restoring %q: %w", u, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package feedback
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFeedbackSnapshotRestore(t *testing.T) {
+	s := NewStore()
+	cats := map[string]float64{"food": 0.7, "culture": 0.3}
+	for i := 0; i < 5; i++ {
+		if err := s.Append(Event{
+			UserID: "lilly", ItemID: "it", Kind: Like,
+			At: t0.Add(time.Duration(i) * time.Hour), Categories: cats,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Append(Event{UserID: "greg", Kind: Skip, At: t0, Categories: map[string]float64{"sport": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore()
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != s.Len() {
+		t.Fatalf("event counts differ: %d vs %d", restored.Len(), s.Len())
+	}
+	// Derived preferences match exactly.
+	now := t0.Add(24 * time.Hour)
+	a := s.Preferences("lilly", now, DefaultPreferenceParams())
+	b := restored.Preferences("lilly", now, DefaultPreferenceParams())
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("preference %q differs: %v vs %v", k, v, b[k])
+		}
+	}
+	// Per-user order preserved.
+	ev := restored.ByUser("lilly")
+	for i := 1; i < len(ev); i++ {
+		if ev[i].At.Before(ev[i-1].At) {
+			t.Fatal("event order lost")
+		}
+	}
+}
+
+func TestFeedbackRestoreValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.Append(Event{UserID: "u", Kind: Like, At: t0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore(strings.NewReader("{}")); err == nil {
+		t.Fatal("restore into non-empty store accepted")
+	}
+	fresh := NewStore()
+	if err := fresh.Restore(strings.NewReader("nope")); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}

@@ -1,0 +1,334 @@
+// Package httpapi implements the "Public Rest API Server" of the paper's
+// architecture (Fig 3): the JSON/HTTP surface the PPHCR client app talks
+// to — user registration, GPS tracking, feedback, schedule metadata and
+// recommendation retrieval.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pphcr"
+	"pphcr/internal/feedback"
+	"pphcr/internal/geo"
+	"pphcr/internal/profile"
+	"pphcr/internal/recommend"
+	"pphcr/internal/trajectory"
+)
+
+// Server exposes a System over HTTP. Create with NewServer and mount via
+// Handler().
+type Server struct {
+	sys *pphcr.System
+	mux *http.ServeMux
+}
+
+// NewServer wraps a System.
+func NewServer(sys *pphcr.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/api/users", s.handleUsers)
+	s.mux.HandleFunc("/api/users/", s.handleUserByID)
+	s.mux.HandleFunc("/api/track", s.handleTrack)
+	s.mux.HandleFunc("/api/feedback", s.handleFeedback)
+	s.mux.HandleFunc("/api/compact", s.handleCompact)
+	s.mux.HandleFunc("/api/recommendations", s.handleRecommendations)
+	s.mux.HandleFunc("/api/plan", s.handlePlan)
+	s.mux.HandleFunc("/api/services", s.handleServices)
+	s.mux.HandleFunc("/api/schedule", s.handleSchedule)
+	s.mux.HandleFunc("/api/items/", s.handleItemByID)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing more can be done.
+		_ = err
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// UserBody is the registration payload.
+type UserBody struct {
+	UserID          string   `json:"user_id"`
+	Name            string   `json:"name"`
+	Age             int      `json:"age"`
+	Lat             float64  `json:"lat"`
+	Lon             float64  `json:"lon"`
+	Interests       []string `json:"interests"`
+	FavoriteService string   `json:"favorite_service"`
+}
+
+func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var body UserBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad json: %w", err))
+			return
+		}
+		p := profile.Profile{
+			UserID:          body.UserID,
+			Name:            body.Name,
+			Age:             body.Age,
+			Hometown:        geo.Point{Lat: body.Lat, Lon: body.Lon},
+			Interests:       body.Interests,
+			FavoriteService: body.FavoriteService,
+		}
+		if err := s.sys.RegisterUser(p); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"user_id": p.UserID})
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.sys.Profiles.UserIDs())
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+	}
+}
+
+func (s *Server) handleUserByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	id := r.URL.Path[len("/api/users/"):]
+	p, err := s.sys.Profiles.Get(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+// TrackBody is one GPS fix.
+type TrackBody struct {
+	UserID string  `json:"user_id"`
+	Lat    float64 `json:"lat"`
+	Lon    float64 `json:"lon"`
+	Unix   int64   `json:"unix"`
+}
+
+func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var body TrackBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad json: %w", err))
+		return
+	}
+	fix := trajectory.Fix{
+		Point: geo.Point{Lat: body.Lat, Lon: body.Lon},
+		Time:  time.Unix(body.Unix, 0).UTC(),
+	}
+	if err := s.sys.RecordFix(body.UserID, fix); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int{
+		"fixes": s.sys.Tracker.FixCount(body.UserID),
+	})
+}
+
+// FeedbackBody is one feedback event.
+type FeedbackBody struct {
+	UserID string `json:"user_id"`
+	ItemID string `json:"item_id"`
+	Kind   string `json:"kind"` // listen | skip | like | dislike
+	Unix   int64  `json:"unix"`
+}
+
+func parseKind(s string) (feedback.Kind, error) {
+	switch s {
+	case "listen":
+		return feedback.ImplicitListen, nil
+	case "skip":
+		return feedback.Skip, nil
+	case "like":
+		return feedback.Like, nil
+	case "dislike":
+		return feedback.Dislike, nil
+	default:
+		return 0, fmt.Errorf("unknown feedback kind %q", s)
+	}
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var body FeedbackBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad json: %w", err))
+		return
+	}
+	kind, err := parseKind(body.Kind)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var cats map[string]float64
+	if it, ok := s.sys.Repo.Get(body.ItemID); ok {
+		cats = it.Categories
+	}
+	e := feedback.Event{
+		UserID:     body.UserID,
+		ItemID:     body.ItemID,
+		Kind:       kind,
+		At:         time.Unix(body.Unix, 0).UTC(),
+		Categories: cats,
+	}
+	if err := s.sys.AddFeedback(e); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "recorded"})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	user := r.URL.Query().Get("user")
+	cm, err := s.sys.CompactTracking(user)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{
+		"stay_points": len(cm.StayPoints),
+		"trips":       len(cm.Trips),
+	})
+}
+
+// RecommendationView is one ranked item in API responses.
+type RecommendationView struct {
+	ItemID   string  `json:"item_id"`
+	Title    string  `json:"title"`
+	Program  string  `json:"program"`
+	Category string  `json:"category"`
+	Seconds  int     `json:"seconds"`
+	Content  float64 `json:"content_score"`
+	Context  float64 `json:"context_score"`
+	Compound float64 `json:"compound_score"`
+}
+
+func (s *Server) handleRecommendations(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	q := r.URL.Query()
+	user := q.Get("user")
+	if user == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("user parameter required"))
+		return
+	}
+	k := 10
+	if ks := q.Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v <= 0 {
+			writeErr(w, http.StatusBadRequest, errors.New("k must be a positive integer"))
+			return
+		}
+		k = v
+	}
+	now := time.Now().UTC()
+	if ts := q.Get("unix"); ts != "" {
+		v, err := strconv.ParseInt(ts, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, errors.New("unix must be an integer"))
+			return
+		}
+		now = time.Unix(v, 0).UTC()
+	}
+	ctx := recommend.Context{Now: now}
+	if lat, lon := q.Get("lat"), q.Get("lon"); lat != "" && lon != "" {
+		la, err1 := strconv.ParseFloat(lat, 64)
+		lo, err2 := strconv.ParseFloat(lon, 64)
+		if err1 != nil || err2 != nil {
+			writeErr(w, http.StatusBadRequest, errors.New("bad lat/lon"))
+			return
+		}
+		ctx.Position = geo.Point{Lat: la, Lon: lo}
+	}
+	ranked := s.sys.Recommend(user, ctx, k)
+	out := make([]RecommendationView, len(ranked))
+	for i, sc := range ranked {
+		out[i] = RecommendationView{
+			ItemID:   sc.Item.ID,
+			Title:    sc.Item.Title,
+			Program:  sc.Item.Program,
+			Category: sc.Item.TopCategory(),
+			Seconds:  int(sc.Item.Duration.Seconds()),
+			Content:  sc.Content,
+			Context:  sc.Context,
+			Compound: sc.Compound,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleServices(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sys.Directory.Services())
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	q := r.URL.Query()
+	service := q.Get("service")
+	from, err1 := strconv.ParseInt(q.Get("from"), 10, 64)
+	to, err2 := strconv.ParseInt(q.Get("to"), 10, 64)
+	if service == "" || err1 != nil || err2 != nil {
+		writeErr(w, http.StatusBadRequest, errors.New("service, from, to (unix) required"))
+		return
+	}
+	progs := s.sys.Directory.ProgramsBetween(service, time.Unix(from, 0).UTC(), time.Unix(to, 0).UTC())
+	writeJSON(w, http.StatusOK, progs)
+}
+
+func (s *Server) handleItemByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	id := r.URL.Path[len("/api/items/"):]
+	it, ok := s.sys.Repo.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("item %q not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, it)
+}

@@ -1,0 +1,99 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pphcr/internal/geo"
+	"pphcr/internal/trajectory"
+)
+
+// PlanRequest is the proactive planning payload: the partial trace the
+// client app observed since the car started moving.
+type PlanRequest struct {
+	UserID string      `json:"user_id"`
+	Fixes  []TrackBody `json:"fixes"`
+	// NowUnix is the planning instant; 0 means the last fix's time.
+	NowUnix int64 `json:"now_unix"`
+}
+
+// PlanItemView is one scheduled clip in the response.
+type PlanItemView struct {
+	ItemID       string  `json:"item_id"`
+	Title        string  `json:"title"`
+	StartSeconds int     `json:"start_seconds"`
+	Seconds      int     `json:"seconds"`
+	Deadline     int     `json:"deadline_seconds,omitempty"`
+	Compound     float64 `json:"compound_score"`
+}
+
+// PlanView is the planning response.
+type PlanView struct {
+	Proactive      bool           `json:"proactive"`
+	Reason         string         `json:"reason,omitempty"`
+	Destination    int            `json:"destination_place"`
+	Confidence     float64        `json:"confidence"`
+	DeltaTSeconds  int            `json:"delta_t_seconds"`
+	Items          []PlanItemView `json:"items"`
+	DroppedReasons []string       `json:"dropped_reasons,omitempty"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var body PlanRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad json: %w", err))
+		return
+	}
+	if body.UserID == "" || len(body.Fixes) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("user_id and fixes required"))
+		return
+	}
+	partial := make(trajectory.Trace, len(body.Fixes))
+	for i, f := range body.Fixes {
+		partial[i] = trajectory.Fix{
+			Point: geo.Point{Lat: f.Lat, Lon: f.Lon},
+			Time:  time.Unix(f.Unix, 0).UTC(),
+		}
+	}
+	now := partial[len(partial)-1].Time
+	if body.NowUnix != 0 {
+		now = time.Unix(body.NowUnix, 0).UTC()
+	}
+	tp, err := s.sys.PlanTrip(body.UserID, partial, now, nil)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	view := PlanView{
+		Proactive:     tp.Proactive,
+		Reason:        tp.Reason,
+		Destination:   int(tp.Prediction.Dest),
+		Confidence:    tp.Prediction.Confidence,
+		DeltaTSeconds: int(tp.Prediction.DeltaT.Seconds()),
+	}
+	for _, it := range tp.Plan.Items {
+		v := PlanItemView{
+			ItemID:       it.Scored.Item.ID,
+			Title:        it.Scored.Item.Title,
+			StartSeconds: int(it.StartOffset.Seconds()),
+			Seconds:      int(it.Scored.Item.Duration.Seconds()),
+			Compound:     it.Scored.Compound,
+		}
+		if it.HasDeadline {
+			v.Deadline = int(it.Deadline.Seconds())
+		}
+		view.Items = append(view.Items, v)
+	}
+	for _, d := range tp.Plan.Dropped {
+		view.DroppedReasons = append(view.DroppedReasons,
+			fmt.Sprintf("%s: %s", d.Scored.Item.ID, d.Reason))
+	}
+	writeJSON(w, http.StatusOK, view)
+}

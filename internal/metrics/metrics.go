@@ -1,0 +1,187 @@
+// Package metrics provides the evaluation metrics the experiments report:
+// ranking quality (precision/recall@k, nDCG@k, MRR), listening-behaviour
+// statistics (skip rate, listening time, channel-switch propensity — the
+// quantities the paper's prose claims PPHCR improves) and summary
+// statistics helpers.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// PrecisionAtK returns |relevant ∩ top-k| / k. When fewer than k items
+// were recommended, the denominator is still k (missing slots count as
+// misses), matching the standard definition.
+func PrecisionAtK(recommended []string, relevant map[string]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	hits := 0
+	for i, id := range recommended {
+		if i >= k {
+			break
+		}
+		if relevant[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// RecallAtK returns |relevant ∩ top-k| / |relevant| (0 when there are no
+// relevant items).
+func RecallAtK(recommended []string, relevant map[string]bool, k int) float64 {
+	if len(relevant) == 0 || k <= 0 {
+		return 0
+	}
+	hits := 0
+	for i, id := range recommended {
+		if i >= k {
+			break
+		}
+		if relevant[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(relevant))
+}
+
+// NDCGAtK returns the normalized discounted cumulative gain at k for
+// graded relevance gains (0 when no positive gains exist).
+func NDCGAtK(recommended []string, gains map[string]float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	dcg := 0.0
+	for i, id := range recommended {
+		if i >= k {
+			break
+		}
+		if g := gains[id]; g > 0 {
+			dcg += (math.Exp2(g) - 1) / math.Log2(float64(i)+2)
+		}
+	}
+	// Ideal ordering.
+	ideal := make([]float64, 0, len(gains))
+	for _, g := range gains {
+		if g > 0 {
+			ideal = append(ideal, g)
+		}
+	}
+	if len(ideal) == 0 {
+		return 0
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ideal)))
+	idcg := 0.0
+	for i, g := range ideal {
+		if i >= k {
+			break
+		}
+		idcg += (math.Exp2(g) - 1) / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+// MRR returns the mean reciprocal rank of the first relevant item (0 when
+// none is recommended).
+func MRR(recommended []string, relevant map[string]bool) float64 {
+	for i, id := range recommended {
+		if relevant[id] {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// ListeningStats aggregates one simulated listening session or period.
+type ListeningStats struct {
+	// Listened is the total time actually spent listening.
+	Listened time.Duration
+	// Available is the total session time.
+	Available time.Duration
+	// Skips counts skip actions; Switches counts channel changes (the
+	// paper's channel-surf events); Plays counts content items started.
+	Skips    int
+	Switches int
+	Plays    int
+}
+
+// Add merges another stats record.
+func (s *ListeningStats) Add(o ListeningStats) {
+	s.Listened += o.Listened
+	s.Available += o.Available
+	s.Skips += o.Skips
+	s.Switches += o.Switches
+	s.Plays += o.Plays
+}
+
+// SkipRate returns skips per played item (0 when nothing played).
+func (s ListeningStats) SkipRate() float64 {
+	if s.Plays == 0 {
+		return 0
+	}
+	return float64(s.Skips) / float64(s.Plays)
+}
+
+// ListenShare returns the listened fraction of available time.
+func (s ListeningStats) ListenShare() float64 {
+	if s.Available <= 0 {
+		return 0
+	}
+	return s.Listened.Seconds() / s.Available.Seconds()
+}
+
+// SwitchesPerHour returns channel switches normalized to an hour of
+// available time.
+func (s ListeningStats) SwitchesPerHour() float64 {
+	h := s.Available.Hours()
+	if h <= 0 {
+		return 0
+	}
+	return float64(s.Switches) / h
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Stddev returns the population standard deviation (0 for n < 2).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPrecisionAtK(t *testing.T) {
+	rel := map[string]bool{"a": true, "c": true}
+	rec := []string{"a", "b", "c", "d"}
+	if got := PrecisionAtK(rec, rel, 2); got != 0.5 {
+		t.Fatalf("P@2 = %v", got)
+	}
+	if got := PrecisionAtK(rec, rel, 4); got != 0.5 {
+		t.Fatalf("P@4 = %v", got)
+	}
+	// Short lists penalized: only 1 item recommended, k=5.
+	if got := PrecisionAtK([]string{"a"}, rel, 5); got != 0.2 {
+		t.Fatalf("P@5 short = %v", got)
+	}
+	if got := PrecisionAtK(rec, rel, 0); got != 0 {
+		t.Fatalf("P@0 = %v", got)
+	}
+}
+
+func TestRecallAtK(t *testing.T) {
+	rel := map[string]bool{"a": true, "c": true, "z": true}
+	rec := []string{"a", "b", "c"}
+	if got := RecallAtK(rec, rel, 3); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("R@3 = %v", got)
+	}
+	if got := RecallAtK(rec, nil, 3); got != 0 {
+		t.Fatalf("R with no relevant = %v", got)
+	}
+}
+
+func TestNDCGPerfectOrder(t *testing.T) {
+	gains := map[string]float64{"a": 3, "b": 2, "c": 1}
+	if got := NDCGAtK([]string{"a", "b", "c"}, gains, 3); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect nDCG = %v", got)
+	}
+	worse := NDCGAtK([]string{"c", "b", "a"}, gains, 3)
+	if worse >= 1 || worse <= 0 {
+		t.Fatalf("reversed nDCG = %v", worse)
+	}
+	if got := NDCGAtK([]string{"x", "y"}, gains, 2); got != 0 {
+		t.Fatalf("irrelevant nDCG = %v", got)
+	}
+	if got := NDCGAtK([]string{"a"}, map[string]float64{}, 1); got != 0 {
+		t.Fatalf("no-gain nDCG = %v", got)
+	}
+}
+
+func TestNDCGOrderSensitivity(t *testing.T) {
+	gains := map[string]float64{"best": 3, "ok": 1}
+	good := NDCGAtK([]string{"best", "ok"}, gains, 2)
+	bad := NDCGAtK([]string{"ok", "best"}, gains, 2)
+	if good <= bad {
+		t.Fatalf("nDCG insensitive to order: %v vs %v", good, bad)
+	}
+}
+
+func TestMRR(t *testing.T) {
+	rel := map[string]bool{"x": true}
+	if got := MRR([]string{"a", "x", "b"}, rel); got != 0.5 {
+		t.Fatalf("MRR = %v", got)
+	}
+	if got := MRR([]string{"a", "b"}, rel); got != 0 {
+		t.Fatalf("MRR miss = %v", got)
+	}
+}
+
+func TestListeningStats(t *testing.T) {
+	var s ListeningStats
+	s.Add(ListeningStats{Listened: 30 * time.Minute, Available: time.Hour, Skips: 2, Switches: 1, Plays: 10})
+	s.Add(ListeningStats{Listened: 30 * time.Minute, Available: time.Hour, Skips: 0, Switches: 1, Plays: 10})
+	if got := s.SkipRate(); got != 0.1 {
+		t.Fatalf("SkipRate = %v", got)
+	}
+	if got := s.ListenShare(); got != 0.5 {
+		t.Fatalf("ListenShare = %v", got)
+	}
+	if got := s.SwitchesPerHour(); got != 1 {
+		t.Fatalf("SwitchesPerHour = %v", got)
+	}
+	var empty ListeningStats
+	if empty.SkipRate() != 0 || empty.ListenShare() != 0 || empty.SwitchesPerHour() != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Median(xs); got != 2.5 {
+		t.Fatalf("Median = %v", got)
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd Median = %v", got)
+	}
+	if got := Stddev([]float64{2, 4}); got != 1 {
+		t.Fatalf("Stddev = %v", got)
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || Stddev(nil) != 0 {
+		t.Fatal("empty summaries should be zero")
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}

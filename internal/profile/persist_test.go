@@ -1,0 +1,51 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pphcr/internal/geo"
+)
+
+func TestProfileSnapshotRestore(t *testing.T) {
+	s := NewStore()
+	for _, p := range []Profile{
+		{UserID: "lilly", Name: "Lilly", Age: 29, Hometown: geo.Point{Lat: 45.07, Lon: 7.68},
+			Interests: []string{"food", "culture"}, FavoriteService: "radio2"},
+		{UserID: "greg", Name: "Greg", Age: 41, Interests: []string{"technology"}},
+	} {
+		if err := s.Put(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore()
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 2 {
+		t.Fatalf("restored %d profiles", restored.Len())
+	}
+	got, err := restored.Get("lilly")
+	if err != nil || got.Age != 29 || len(got.Interests) != 2 || got.FavoriteService != "radio2" {
+		t.Fatalf("profile lost fields: %+v err=%v", got, err)
+	}
+}
+
+func TestProfileRestoreValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.Put(Profile{UserID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore(strings.NewReader("{}")); err == nil {
+		t.Fatal("restore into non-empty store accepted")
+	}
+	fresh := NewStore()
+	if err := fresh.Restore(strings.NewReader("x")); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}

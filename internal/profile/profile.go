@@ -1,0 +1,97 @@
+// Package profile implements the user-management component's profiles DB
+// (Fig 3): listener demographics and seed interests.
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pphcr/internal/geo"
+)
+
+// Profile is one listener's demographic record.
+type Profile struct {
+	UserID string
+	Name   string
+	Age    int
+	// Hometown anchors default geographic relevance before any tracking
+	// data exists.
+	Hometown geo.Point
+	// Interests are seed categories declared at signup; the feedback
+	// store refines them over time.
+	Interests []string
+	// FavoriteService is the listener's habitual station.
+	FavoriteService string
+}
+
+// ErrNotFound is returned for unknown users.
+var ErrNotFound = errors.New("profile: user not found")
+
+// Store is a thread-safe profiles DB.
+type Store struct {
+	mu       sync.RWMutex
+	profiles map[string]Profile
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{profiles: make(map[string]Profile)}
+}
+
+// Put inserts or replaces a profile.
+func (s *Store) Put(p Profile) error {
+	if p.UserID == "" {
+		return fmt.Errorf("profile: UserID required")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.profiles[p.UserID] = p
+	return nil
+}
+
+// Get returns a profile by user ID.
+func (s *Store) Get(userID string) (Profile, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.profiles[userID]
+	if !ok {
+		return Profile{}, fmt.Errorf("%w: %q", ErrNotFound, userID)
+	}
+	return p, nil
+}
+
+// Len returns the number of profiles.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.profiles)
+}
+
+// UserIDs returns every user ID, sorted.
+func (s *Store) UserIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.profiles))
+	for id := range s.profiles {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SeedPreferences converts the profile's declared interests into a
+// uniform preference vector, the cold-start prior the recommender uses
+// before feedback accumulates.
+func (p Profile) SeedPreferences() map[string]float64 {
+	if len(p.Interests) == 0 {
+		return map[string]float64{}
+	}
+	w := 1.0 / float64(len(p.Interests))
+	out := make(map[string]float64, len(p.Interests))
+	for _, c := range p.Interests {
+		out[c] += w
+	}
+	return out
+}

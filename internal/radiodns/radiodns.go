@@ -1,0 +1,278 @@
+// Package radiodns simulates the ETSI TS 103 270 (RadioDNS hybrid radio)
+// metadata layer the paper builds on (§1.1: "the basic metadata
+// descriptions enabling this service come from the ETSI Standards created
+// by the RadioDNS Project"). It provides broadcast service identifiers,
+// the hybrid lookup that resolves a broadcast bearer to its IP services,
+// and the program schedule (SPI/EPG) that the buffering and replacement
+// logic aligns to.
+package radiodns
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Bearer identifies how a service is received. The paper's client plays
+// either the broadcast bearer (FM/DAB+) or the IP stream.
+type Bearer int
+
+// Bearer kinds.
+const (
+	BearerFM Bearer = iota
+	BearerDAB
+	BearerIP
+)
+
+// String returns the bearer scheme name used in bearer URIs.
+func (b Bearer) String() string {
+	switch b {
+	case BearerFM:
+		return "fm"
+	case BearerDAB:
+		return "dab"
+	case BearerIP:
+		return "http"
+	default:
+		return fmt.Sprintf("bearer(%d)", int(b))
+	}
+}
+
+// Service is one radio service (station).
+type Service struct {
+	// ID is the short service identifier, e.g. "radio1".
+	ID string
+	// Name is the human-readable station name.
+	Name string
+	// GCC is the global country code (ECC+CC) per TS 103 270, e.g. "5e0"
+	// for Italy.
+	GCC string
+	// PI is the RDS programme identification code (FM) in hex.
+	PI string
+	// Frequency is the FM frequency in units of 10 kHz, e.g. 8990 = 89.9.
+	Frequency int
+	// DAB service parameters (TS 103 270 §5.1.2); zero values mean the
+	// service has no DAB+ bearer.
+	DABEId    string // ensemble ID, hex
+	DABSId    string // service ID, hex
+	DABSCIdS  string // service component ID within service, hex
+	DABUAType string // X-PAD user application type, hex (data services)
+	// StreamURL is the IP stream endpoint resolved by the hybrid lookup.
+	StreamURL string
+	// BitrateKbps is the stream bitrate (the paper's streams are 96).
+	BitrateKbps int
+}
+
+// FQDN returns the DNS name a RadioDNS client would resolve for the FM
+// bearer of this service, per TS 103 270 §5.2:
+// <frequency>.<pi>.<gcc>.fm.radiodns.org.
+func (s *Service) FQDN() string {
+	return fmt.Sprintf("%05d.%s.%s.fm.radiodns.org", s.Frequency, strings.ToLower(s.PI), strings.ToLower(s.GCC))
+}
+
+// DABFQDN returns the DNS name for the DAB bearer per TS 103 270:
+// [<uatype>.]<scids>.<sid>.<eid>.<gcc>.dab.radiodns.org. ok is false when
+// the service has no DAB parameters.
+func (s *Service) DABFQDN() (fqdn string, ok bool) {
+	if s.DABEId == "" || s.DABSId == "" {
+		return "", false
+	}
+	scids := s.DABSCIdS
+	if scids == "" {
+		scids = "0"
+	}
+	parts := []string{scids, strings.ToLower(s.DABSId), strings.ToLower(s.DABEId), strings.ToLower(s.GCC), "dab.radiodns.org"}
+	if s.DABUAType != "" {
+		parts = append([]string{strings.ToLower(s.DABUAType)}, parts...)
+	}
+	return strings.Join(parts, "."), true
+}
+
+// BearerURI returns the TS 103 270 bearer URI for the given bearer.
+func (s *Service) BearerURI(b Bearer) string {
+	switch b {
+	case BearerFM:
+		return fmt.Sprintf("fm:%s.%s.%05d", strings.ToLower(s.GCC), strings.ToLower(s.PI), s.Frequency)
+	case BearerDAB:
+		if s.DABEId != "" && s.DABSId != "" {
+			scids := s.DABSCIdS
+			if scids == "" {
+				scids = "0"
+			}
+			return fmt.Sprintf("dab:%s.%s.%s.%s", strings.ToLower(s.GCC),
+				strings.ToLower(s.DABEId), strings.ToLower(s.DABSId), scids)
+		}
+		return fmt.Sprintf("%s:%s", b, s.ID)
+	case BearerIP:
+		return s.StreamURL
+	default:
+		return fmt.Sprintf("%s:%s", b, s.ID)
+	}
+}
+
+// Program is one scheduled broadcast program.
+type Program struct {
+	ID        string
+	ServiceID string
+	Title     string
+	Start     time.Time
+	Duration  time.Duration
+	// Categories is the editorial category distribution of the program.
+	Categories map[string]float64
+	// Replaceable marks programs the broadcaster allows the hybrid client
+	// to substitute (ads, filler, syndicated segments). Fixed-point
+	// programs (live news bulletins) are not replaceable.
+	Replaceable bool
+}
+
+// End returns the scheduled end instant.
+func (p *Program) End() time.Time { return p.Start.Add(p.Duration) }
+
+// Directory is the registry of services and schedules — the simulated
+// radiodns.org lookup plus SPI server. It is safe for concurrent use.
+type Directory struct {
+	mu       sync.RWMutex
+	services map[string]*Service
+	byFQDN   map[string]*Service
+	programs map[string][]*Program // service ID -> programs sorted by Start
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{
+		services: make(map[string]*Service),
+		byFQDN:   make(map[string]*Service),
+		programs: make(map[string][]*Program),
+	}
+}
+
+// Errors returned by lookups.
+var (
+	ErrUnknownService = errors.New("radiodns: unknown service")
+	ErrNoProgram      = errors.New("radiodns: no program scheduled")
+)
+
+// AddService registers a service.
+func (d *Directory) AddService(s *Service) error {
+	if s == nil || s.ID == "" {
+		return fmt.Errorf("radiodns: service must have an ID")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.services[s.ID]; dup {
+		return fmt.Errorf("radiodns: duplicate service %q", s.ID)
+	}
+	d.services[s.ID] = s
+	d.byFQDN[s.FQDN()] = s
+	if dab, ok := s.DABFQDN(); ok {
+		d.byFQDN[dab] = s
+	}
+	return nil
+}
+
+// Service returns a service by ID.
+func (d *Directory) Service(id string) (*Service, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s, ok := d.services[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownService, id)
+	}
+	return s, nil
+}
+
+// Services returns all services sorted by ID.
+func (d *Directory) Services() []*Service {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]*Service, 0, len(d.services))
+	for _, s := range d.services {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// HybridLookup resolves an FM bearer FQDN to its service — the TS 103 270
+// hybrid lookup that lets a client tuned to analog FM discover the IP
+// equivalents.
+func (d *Directory) HybridLookup(fqdn string) (*Service, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s, ok := d.byFQDN[strings.ToLower(fqdn)]
+	if !ok {
+		return nil, fmt.Errorf("%w: fqdn %q", ErrUnknownService, fqdn)
+	}
+	return s, nil
+}
+
+// AddProgram schedules a program on its service.
+func (d *Directory) AddProgram(p *Program) error {
+	if p == nil || p.ID == "" || p.ServiceID == "" {
+		return fmt.Errorf("radiodns: program must have ID and ServiceID")
+	}
+	if p.Duration <= 0 {
+		return fmt.Errorf("radiodns: program %q must have positive duration", p.ID)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.services[p.ServiceID]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownService, p.ServiceID)
+	}
+	list := d.programs[p.ServiceID]
+	idx := sort.Search(len(list), func(i int) bool { return list[i].Start.After(p.Start) })
+	list = append(list, nil)
+	copy(list[idx+1:], list[idx:])
+	list[idx] = p
+	d.programs[p.ServiceID] = list
+	return nil
+}
+
+// ProgramAt returns the program on air on the service at instant t.
+func (d *Directory) ProgramAt(serviceID string, t time.Time) (*Program, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	list := d.programs[serviceID]
+	// Last program starting at or before t.
+	idx := sort.Search(len(list), func(i int) bool { return list[i].Start.After(t) }) - 1
+	if idx < 0 || list[idx].End().Before(t) || list[idx].End().Equal(t) {
+		return nil, fmt.Errorf("%w on %q at %v", ErrNoProgram, serviceID, t)
+	}
+	return list[idx], nil
+}
+
+// ProgramsBetween returns the service's programs overlapping [from, to).
+func (d *Directory) ProgramsBetween(serviceID string, from, to time.Time) []*Program {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []*Program
+	for _, p := range d.programs[serviceID] {
+		if p.Start.Before(to) && p.End().After(from) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NextBoundary returns the next program boundary (start or end) strictly
+// after t on the service, which is where the buffering layer can splice
+// seamlessly.
+func (d *Directory) NextBoundary(serviceID string, t time.Time) (time.Time, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	best := time.Time{}
+	for _, p := range d.programs[serviceID] {
+		for _, b := range []time.Time{p.Start, p.End()} {
+			if b.After(t) && (best.IsZero() || b.Before(best)) {
+				best = b
+			}
+		}
+	}
+	if best.IsZero() {
+		return time.Time{}, fmt.Errorf("%w after %v on %q", ErrNoProgram, t, serviceID)
+	}
+	return best, nil
+}

@@ -1,0 +1,114 @@
+package recommend
+
+import (
+	"testing"
+	"time"
+
+	"pphcr/internal/content"
+)
+
+func TestWeatherAndActivityStrings(t *testing.T) {
+	for w, want := range map[Weather]string{
+		WeatherUnknown: "unknown", WeatherClear: "clear", WeatherRain: "rain",
+		WeatherSnow: "snow", WeatherFog: "fog",
+	} {
+		if got := w.String(); got != want {
+			t.Errorf("Weather(%d) = %q, want %q", int(w), got, want)
+		}
+	}
+	if Weather(99).String() == "" || Activity(99).String() == "" {
+		t.Fatal("unknown enum strings empty")
+	}
+	for a, want := range map[Activity]string{
+		ActivityUnknown: "unknown", ActivityDriving: "driving",
+		ActivityWalking: "walking", ActivityStationary: "stationary",
+	} {
+		if got := a.String(); got != want {
+			t.Errorf("Activity(%d) = %q, want %q", int(a), got, want)
+		}
+	}
+}
+
+func TestWeatherSeverityOrdering(t *testing.T) {
+	if !(WeatherClear.Severity() < WeatherRain.Severity() &&
+		WeatherRain.Severity() < WeatherFog.Severity() &&
+		WeatherFog.Severity() < WeatherSnow.Severity()) {
+		t.Fatal("severity ordering broken")
+	}
+	if WeatherUnknown.Severity() != 0 {
+		t.Fatal("unknown weather should have zero severity")
+	}
+}
+
+func TestWeatherBoostsTrafficInfo(t *testing.T) {
+	s := NewScorer(1) // pure context
+	trafficIt := item("t", "traffic", content.KindNews, 2*time.Minute)
+	musicIt := item("m", "music", content.KindMusic, 2*time.Minute)
+	base := drivingCtx(20 * time.Minute)
+
+	snow := base
+	snow.Weather = WeatherSnow
+	clear := base
+	clear.Weather = WeatherClear
+
+	if s.ContextScore(trafficIt, snow) <= s.ContextScore(trafficIt, clear) {
+		t.Fatal("snow should raise traffic-info relevance")
+	}
+	// Music is unaffected by weather.
+	if s.ContextScore(musicIt, snow) != s.ContextScore(musicIt, clear) {
+		t.Fatal("weather leaked into non-info items")
+	}
+	// Unknown weather is neutral: between clear and snow for traffic.
+	unknownScore := s.ContextScore(trafficIt, base)
+	if unknownScore <= s.ContextScore(trafficIt, clear) || unknownScore >= s.ContextScore(trafficIt, snow) {
+		t.Fatalf("unknown weather not neutral: clear=%v unknown=%v snow=%v",
+			s.ContextScore(trafficIt, clear), unknownScore, s.ContextScore(trafficIt, snow))
+	}
+}
+
+func TestActivityPenalizesLongItemsWhileWalking(t *testing.T) {
+	s := NewScorer(1)
+	short := item("s", "culture", content.KindClip, 4*time.Minute)
+	long := item("l", "culture", content.KindClip, 20*time.Minute)
+	walking := drivingCtx(20 * time.Minute)
+	walking.Driving = false
+	walking.Activity = ActivityWalking
+
+	if s.ContextScore(short, walking) <= s.ContextScore(long, walking) {
+		t.Fatal("walking should prefer short items")
+	}
+	// Stationary: duration is irrelevant.
+	stationary := walking
+	stationary.Activity = ActivityStationary
+	if s.ContextScore(short, stationary) != s.ContextScore(long, stationary) {
+		t.Fatal("stationary should be duration-neutral")
+	}
+}
+
+func TestRichContextChangesRanking(t *testing.T) {
+	// Pure context (λ=1), midday (so dayparting favors neither item),
+	// equal taste: weather becomes the deciding signal.
+	s := NewScorer(1)
+	prefs := map[string]float64{"traffic": 0.5, "music": 0.5}
+	trafficIt := item("traffic1", "traffic", content.KindNews, 2*time.Minute)
+	musicIt := item("music1", "music", content.KindMusic, 2*time.Minute)
+	items := []*content.Item{trafficIt, musicIt}
+
+	midday := drivingCtx(20 * time.Minute)
+	midday.Now = time.Date(2016, 11, 15, 12, 30, 0, 0, time.UTC)
+
+	clear := midday
+	clear.Weather = WeatherClear
+	clearTop := s.Rank(prefs, items, clear, 1)[0].Item.ID
+
+	snow := midday
+	snow.Weather = WeatherSnow
+	snowTop := s.Rank(prefs, items, snow, 1)[0].Item.ID
+
+	if clearTop != "music1" {
+		t.Fatalf("clear-weather top = %s, want music1", clearTop)
+	}
+	if snowTop != "traffic1" {
+		t.Fatalf("snow top = %s, want traffic1", snowTop)
+	}
+}

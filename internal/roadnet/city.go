@@ -1,0 +1,157 @@
+package roadnet
+
+import (
+	"pphcr/internal/geo"
+)
+
+// CityParams configures the synthetic city generator.
+type CityParams struct {
+	Center geo.Point // city center (defaults to Torino, the paper's city)
+	Rows   int       // grid rows (north-south blocks)
+	Cols   int       // grid columns (east-west blocks)
+	// BlockMeters is the street-grid block edge length.
+	BlockMeters float64
+	// GridSpeed is the free-flow speed on downtown streets (m/s).
+	GridSpeed float64
+	// RingSpeed is the free-flow speed on the ring road (m/s).
+	RingSpeed float64
+	// RingRadiusMeters is the ring road radius from the center.
+	RingRadiusMeters float64
+	// RingSegments is the number of ring road arcs; every junction where
+	// an arterial meets the ring is a roundabout.
+	RingSegments int
+}
+
+// DefaultCityParams returns a Torino-like configuration: a 15×15
+// downtown grid (400 m blocks, 25 km/h effective with junction friction)
+// inside a 12 km ring road (80 km/h) with 12 roundabouts. The scale puts
+// suburb→downtown commutes in the 15–25 minute range the paper's
+// scenarios assume (Fig 2's ΔT, Lilly's morning drive).
+func DefaultCityParams() CityParams {
+	return CityParams{
+		Center:           geo.Point{Lat: 45.0703, Lon: 7.6869},
+		Rows:             15,
+		Cols:             15,
+		BlockMeters:      400,
+		GridSpeed:        25.0 / 3.6,
+		RingSpeed:        80.0 / 3.6,
+		RingRadiusMeters: 12000,
+		RingSegments:     12,
+	}
+}
+
+// City is a generated synthetic city: the road graph plus named anchor
+// locations used by the synthetic population generator.
+type City struct {
+	Graph *Graph
+	// GridNodes[r][c] is the grid node at row r, column c.
+	GridNodes [][]NodeID
+	// RingNodes are the roundabout nodes on the ring road, clockwise.
+	RingNodes []NodeID
+	Params    CityParams
+}
+
+// GenerateCity builds the synthetic city deterministically from params.
+// Zero-valued fields are replaced with defaults.
+func GenerateCity(params CityParams) *City {
+	def := DefaultCityParams()
+	if params.Center == (geo.Point{}) {
+		params.Center = def.Center
+	}
+	if params.Rows <= 1 {
+		params.Rows = def.Rows
+	}
+	if params.Cols <= 1 {
+		params.Cols = def.Cols
+	}
+	if params.BlockMeters <= 0 {
+		params.BlockMeters = def.BlockMeters
+	}
+	if params.GridSpeed <= 0 {
+		params.GridSpeed = def.GridSpeed
+	}
+	if params.RingSpeed <= 0 {
+		params.RingSpeed = def.RingSpeed
+	}
+	if params.RingRadiusMeters <= 0 {
+		params.RingRadiusMeters = def.RingRadiusMeters
+	}
+	if params.RingSegments < 3 {
+		params.RingSegments = def.RingSegments
+	}
+
+	g := NewGraph()
+	city := &City{Graph: g, Params: params}
+
+	// Downtown grid: every interior grid crossing is an intersection.
+	// The grid is centered on params.Center.
+	rows, cols := params.Rows, params.Cols
+	originOffsetNorth := float64(rows-1) / 2 * params.BlockMeters
+	originOffsetWest := float64(cols-1) / 2 * params.BlockMeters
+	northWest := geo.Destination(
+		geo.Destination(params.Center, 0, originOffsetNorth),
+		270, originOffsetWest)
+
+	city.GridNodes = make([][]NodeID, rows)
+	for r := 0; r < rows; r++ {
+		city.GridNodes[r] = make([]NodeID, cols)
+		rowStart := geo.Destination(northWest, 180, float64(r)*params.BlockMeters)
+		for c := 0; c < cols; c++ {
+			p := geo.Destination(rowStart, 90, float64(c)*params.BlockMeters)
+			kind := Intersection
+			// Border nodes have degree ≤3; still intersections, except
+			// the four corners which are plain bends.
+			if (r == 0 || r == rows-1) && (c == 0 || c == cols-1) {
+				kind = Plain
+			}
+			city.GridNodes[r][c] = g.AddNode(p, kind)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddRoad(city.GridNodes[r][c], city.GridNodes[r][c+1], params.GridSpeed)
+			}
+			if r+1 < rows {
+				g.AddRoad(city.GridNodes[r][c], city.GridNodes[r+1][c], params.GridSpeed)
+			}
+		}
+	}
+
+	// Ring road: RingSegments roundabouts evenly spaced on a circle.
+	for s := 0; s < params.RingSegments; s++ {
+		brg := float64(s) * 360 / float64(params.RingSegments)
+		p := geo.Destination(params.Center, brg, params.RingRadiusMeters)
+		city.RingNodes = append(city.RingNodes, g.AddNode(p, Roundabout))
+	}
+	for s := 0; s < params.RingSegments; s++ {
+		g.AddRoad(city.RingNodes[s], city.RingNodes[(s+1)%params.RingSegments], params.RingSpeed)
+	}
+
+	// Arterials: connect each roundabout to the nearest grid border node
+	// at an intermediate speed, so ring↔downtown routes exist.
+	arterialSpeed := (params.GridSpeed + params.RingSpeed) / 2
+	for _, ring := range city.RingNodes {
+		best, bestD := NodeID(-1), 0.0
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if r != 0 && r != rows-1 && c != 0 && c != cols-1 {
+					continue // only border nodes anchor arterials
+				}
+				id := city.GridNodes[r][c]
+				d := geo.Distance(g.Node(ring).Point, g.Node(id).Point)
+				if best == -1 || d < bestD {
+					best, bestD = id, d
+				}
+			}
+		}
+		g.AddRoad(ring, best, arterialSpeed)
+	}
+	return city
+}
+
+// RandomSuburb returns a point outside the ring road at the given bearing
+// and extra distance, used by the population generator to place homes.
+func (c *City) RandomSuburb(bearingDeg, extraMeters float64) geo.Point {
+	return geo.Destination(c.Params.Center, bearingDeg, c.Params.RingRadiusMeters+extraMeters)
+}

@@ -1,0 +1,160 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"pphcr"
+	"pphcr/internal/geo"
+	"pphcr/internal/synth"
+	"pphcr/internal/trajectory"
+)
+
+func fixAt(at time.Time) trajectory.Fix {
+	return trajectory.Fix{Point: geo.Point{Lat: 45.0703, Lon: 7.6869}, Time: at}
+}
+
+func testSystem(t *testing.T) (*pphcr.System, *synth.World) {
+	t.Helper()
+	w, err := synth.GenerateWorld(synth.Params{
+		Seed: 21, Days: 5, Users: 2, Stations: 2, PodcastsPerDay: 10,
+		TrainingDocsPerCategory: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := pphcr.New(pphcr.Config{TrainingDocs: w.Training, Vocabulary: w.FlatVocab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, w
+}
+
+// feedCommutes records days of commutes and returns total fixes.
+func feedCommutes(t *testing.T, sys *pphcr.System, w *synth.World, user string, days int) int {
+	t.Helper()
+	p := w.Personas[0]
+	total := 0
+	for d := 0; d < days; d++ {
+		day := w.Params.StartDate.AddDate(0, 0, d)
+		if wd := day.Weekday(); wd == time.Saturday || wd == time.Sunday {
+			continue
+		}
+		for _, morning := range []bool{true, false} {
+			trace, _, err := w.CommuteTrace(p, day, morning)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, fix := range trace {
+				if err := sys.RecordFix(user, fix); err != nil {
+					t.Fatal(err)
+				}
+				total++
+			}
+		}
+	}
+	return total
+}
+
+func TestCompactorTriggersOnThreshold(t *testing.T) {
+	sys, w := testSystem(t)
+	c, err := NewCompactor(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FixesPerCompaction = 50
+
+	fixes := feedCommutes(t, sys, w, "lilly", 5)
+	if fixes < 100 {
+		t.Fatalf("test needs ≥100 fixes, got %d", fixes)
+	}
+	compacted, errs := c.Poll()
+	if len(errs) != 0 {
+		t.Fatalf("errs = %v", errs)
+	}
+	if len(compacted) != 1 || compacted[0] != "lilly" {
+		t.Fatalf("compacted = %v", compacted)
+	}
+	if _, ok := sys.MobilityModel("lilly"); !ok {
+		t.Fatal("mobility model not built")
+	}
+	// Counter reset: an immediate second poll does nothing.
+	compacted, _ = c.Poll()
+	if len(compacted) != 0 {
+		t.Fatalf("second poll compacted %v", compacted)
+	}
+}
+
+func TestCompactorBelowThreshold(t *testing.T) {
+	sys, w := testSystem(t)
+	c, err := NewCompactor(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FixesPerCompaction = 100000 // never
+	feedCommutes(t, sys, w, "lilly", 2)
+	compacted, errs := c.Poll()
+	if len(compacted) != 0 || len(errs) != 0 {
+		t.Fatalf("unexpected work: %v %v", compacted, errs)
+	}
+	if n := c.Backlog()["lilly"]; n == 0 {
+		t.Fatal("backlog not tracked")
+	}
+}
+
+func TestCompactorHandlesFailure(t *testing.T) {
+	sys, _ := testSystem(t)
+	c, err := NewCompactor(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FixesPerCompaction = 2
+	// Three isolated fixes: enough to trip the threshold, not enough for
+	// segmentation → compaction fails, is reported, and does not panic.
+	base := time.Date(2016, 11, 14, 8, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		if err := sys.RecordFix("u", fixAt(base.Add(time.Duration(i)*time.Hour))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compacted, errs := c.Poll()
+	if len(compacted) != 0 {
+		t.Fatalf("compacted despite bad data: %v", compacted)
+	}
+	if len(errs) == 0 {
+		t.Fatal("failure not reported")
+	}
+}
+
+func TestCompactorRunLoop(t *testing.T) {
+	sys, w := testSystem(t)
+	c, err := NewCompactor(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FixesPerCompaction = 50
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		c.Run(stop)
+		close(done)
+	}()
+	feedCommutes(t, sys, w, "lilly", 5)
+	deadline := time.After(5 * time.Second)
+	for {
+		if _, ok := sys.MobilityModel("lilly"); ok {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("run loop never compacted")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("run loop did not stop")
+	}
+}

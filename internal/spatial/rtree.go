@@ -1,0 +1,273 @@
+// Package spatial is PPHCR's substitute for the PostGIS tracking database
+// the paper uses (§1.2): an in-memory spatial store over WGS84 points with
+// two interchangeable indexes (a uniform grid and an R-tree) supporting
+// rectangle range queries, radius queries and k-nearest-neighbor search.
+//
+// The paper needs PostGIS only to persist listener GPS fixes and answer
+// the spatial queries that feed trajectory compaction and geographic
+// relevance scoring; this package provides exactly that query surface.
+package spatial
+
+import (
+	"container/heap"
+	"math"
+
+	"pphcr/internal/geo"
+)
+
+// rtree constants: classic Guttman parameters. Small fanout keeps the
+// quadratic split cheap while staying shallow for tens of thousands of
+// GPS fixes.
+const (
+	maxEntries = 16
+	minEntries = maxEntries / 4
+)
+
+// RTree is a dynamic R-tree (Guttman 1984, quadratic split) mapping
+// bounding rectangles to integer item IDs. The zero value is not usable;
+// call NewRTree.
+type RTree struct {
+	root *rnode
+	size int
+	// path records the ancestors visited by the last chooseLeaf call so
+	// splits can propagate upward without parent pointers. RTree is not
+	// safe for concurrent use; Store adds locking.
+	path []*rnode
+}
+
+type rentry struct {
+	rect  geo.Rect
+	child *rnode // nil for leaf entries
+	id    int    // valid for leaf entries
+}
+
+type rnode struct {
+	leaf    bool
+	entries []rentry
+}
+
+// NewRTree returns an empty R-tree.
+func NewRTree() *RTree {
+	return &RTree{root: &rnode{leaf: true}}
+}
+
+// Len returns the number of items in the tree.
+func (t *RTree) Len() int { return t.size }
+
+// Insert adds an item with the given bounding rectangle.
+func (t *RTree) Insert(r geo.Rect, id int) {
+	leaf := t.chooseLeaf(t.root, r)
+	leaf.entries = append(leaf.entries, rentry{rect: r, id: id})
+	t.size++
+	t.splitUpward(leaf)
+}
+
+// InsertPoint adds a point item.
+func (t *RTree) InsertPoint(p geo.Point, id int) {
+	t.Insert(geo.PointRect(p), id)
+}
+
+// chooseLeaf descends from n to the leaf whose enlargement to include r
+// is minimal (ties broken by smaller area).
+func (t *RTree) chooseLeaf(n *rnode, r geo.Rect) *rnode {
+	t.path = t.path[:0]
+	for !n.leaf {
+		t.path = append(t.path, n)
+		best := 0
+		bestEnlarge := math.Inf(1)
+		bestArea := math.Inf(1)
+		for i, e := range n.entries {
+			area := e.rect.Area()
+			enlarged := e.rect.Union(r).Area() - area
+			if enlarged < bestEnlarge || (enlarged == bestEnlarge && area < bestArea) {
+				best, bestEnlarge, bestArea = i, enlarged, area
+			}
+		}
+		n.entries[best].rect = n.entries[best].rect.Union(r)
+		n = n.entries[best].child
+	}
+	return n
+}
+
+func (t *RTree) splitUpward(n *rnode) {
+	// Walk back up the recorded path splitting any overflowing node.
+	for level := len(t.path); ; level-- {
+		if len(n.entries) <= maxEntries {
+			return
+		}
+		left, right := splitNode(n)
+		if level == 0 {
+			// n was the root: grow the tree.
+			t.root = &rnode{
+				leaf: false,
+				entries: []rentry{
+					{rect: nodeRect(left), child: left},
+					{rect: nodeRect(right), child: right},
+				},
+			}
+			return
+		}
+		parent := t.path[level-1]
+		// Replace the entry pointing at n with the two halves.
+		for i := range parent.entries {
+			if parent.entries[i].child == n {
+				parent.entries[i] = rentry{rect: nodeRect(left), child: left}
+				break
+			}
+		}
+		parent.entries = append(parent.entries, rentry{rect: nodeRect(right), child: right})
+		n = parent
+	}
+}
+
+// splitNode performs Guttman's quadratic split of an overflowing node.
+func splitNode(n *rnode) (*rnode, *rnode) {
+	entries := n.entries
+	// Pick the two seeds wasting the most area if grouped together.
+	si, sj := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].rect.Union(entries[j].rect).Area() -
+				entries[i].rect.Area() - entries[j].rect.Area()
+			if d > worst {
+				worst, si, sj = d, i, j
+			}
+		}
+	}
+	left := &rnode{leaf: n.leaf, entries: []rentry{entries[si]}}
+	right := &rnode{leaf: n.leaf, entries: []rentry{entries[sj]}}
+	lRect, rRect := entries[si].rect, entries[sj].rect
+
+	for k, e := range entries {
+		if k == si || k == sj {
+			continue
+		}
+		remaining := len(entries) - k - 1
+		// Force assignment if one group must absorb the rest to reach
+		// the minimum fill.
+		switch {
+		case len(left.entries)+remaining+1 <= minEntries:
+			left.entries = append(left.entries, e)
+			lRect = lRect.Union(e.rect)
+			continue
+		case len(right.entries)+remaining+1 <= minEntries:
+			right.entries = append(right.entries, e)
+			rRect = rRect.Union(e.rect)
+			continue
+		}
+		dl := lRect.Union(e.rect).Area() - lRect.Area()
+		dr := rRect.Union(e.rect).Area() - rRect.Area()
+		if dl < dr || (dl == dr && lRect.Area() < rRect.Area()) {
+			left.entries = append(left.entries, e)
+			lRect = lRect.Union(e.rect)
+		} else {
+			right.entries = append(right.entries, e)
+			rRect = rRect.Union(e.rect)
+		}
+	}
+	return left, right
+}
+
+func nodeRect(n *rnode) geo.Rect {
+	r := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		r = r.Union(e.rect)
+	}
+	return r
+}
+
+// Search appends to dst the IDs of all items whose rectangles intersect q
+// and returns the extended slice.
+func (t *RTree) Search(q geo.Rect, dst []int) []int {
+	return searchNode(t.root, q, dst)
+}
+
+func searchNode(n *rnode, q geo.Rect, dst []int) []int {
+	for _, e := range n.entries {
+		if !e.rect.Intersects(q) {
+			continue
+		}
+		if n.leaf {
+			dst = append(dst, e.id)
+		} else {
+			dst = searchNode(e.child, q, dst)
+		}
+	}
+	return dst
+}
+
+// Neighbor is a kNN search result: an item ID with its distance in meters
+// from the query point.
+type Neighbor struct {
+	ID       int
+	Distance float64
+}
+
+// Nearest returns up to k items nearest to p, ordered by ascending
+// great-circle distance, using best-first search over the tree.
+func (t *RTree) Nearest(p geo.Point, k int) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	pq := &nnQueue{}
+	heap.Push(pq, nnItem{node: t.root, dist: 0})
+	var out []Neighbor
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nnItem)
+		if it.node == nil {
+			out = append(out, Neighbor{ID: it.id, Distance: it.dist})
+			if len(out) == k {
+				return out
+			}
+			continue
+		}
+		for _, e := range it.node.entries {
+			d := rectDistance(p, e.rect)
+			if e.child != nil {
+				heap.Push(pq, nnItem{node: e.child, dist: d})
+			} else {
+				heap.Push(pq, nnItem{id: e.id, dist: geo.Distance(p, e.rect.Center())})
+			}
+		}
+	}
+	return out
+}
+
+// rectDistance returns a lower bound on the distance from p to any point
+// in r (0 if p is inside r).
+func rectDistance(p geo.Point, r geo.Rect) float64 {
+	lat := clamp(p.Lat, r.MinLat, r.MaxLat)
+	lon := clamp(p.Lon, r.MinLon, r.MaxLon)
+	return geo.Distance(p, geo.Point{Lat: lat, Lon: lon})
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+type nnItem struct {
+	node *rnode // nil for a leaf item
+	id   int
+	dist float64
+}
+
+type nnQueue []nnItem
+
+func (q nnQueue) Len() int            { return len(q) }
+func (q nnQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q nnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue) Push(x interface{}) { *q = append(*q, x.(nnItem)) }
+func (q *nnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

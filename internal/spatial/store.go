@@ -1,0 +1,125 @@
+package spatial
+
+import (
+	"fmt"
+	"sync"
+
+	"pphcr/internal/geo"
+)
+
+// Store is the PostGIS-substitute spatial database: a concurrency-safe
+// collection of timestamped, attributed points with an R-tree index. It
+// backs the tracking-data DB (listener GPS fixes) and the geo-relevance
+// index over media items.
+type Store struct {
+	mu    sync.RWMutex
+	tree  *RTree
+	rows  []Row
+	byKey map[string][]int // secondary index: arbitrary key -> row IDs
+}
+
+// Row is one spatial record. Attrs carries small metadata (user ID, trip
+// ID, item ID...) without committing the store to a schema, mirroring how
+// the paper's tracking DB stores heterogeneous fixes.
+type Row struct {
+	ID    int
+	Point geo.Point
+	Unix  int64 // seconds since epoch; 0 when not time-coded
+	Key   string
+	Attrs map[string]string
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		tree:  NewRTree(),
+		byKey: make(map[string][]int),
+	}
+}
+
+// Insert adds a record and returns its ID. key groups rows for ByKey
+// retrieval (e.g. a user ID); it may be empty.
+func (s *Store) Insert(p geo.Point, unix int64, key string, attrs map[string]string) (int, error) {
+	if !p.Valid() {
+		return 0, fmt.Errorf("spatial: invalid point %v", p)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := len(s.rows)
+	s.rows = append(s.rows, Row{ID: id, Point: p, Unix: unix, Key: key, Attrs: attrs})
+	s.tree.InsertPoint(p, id)
+	if key != "" {
+		s.byKey[key] = append(s.byKey[key], id)
+	}
+	return id, nil
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rows)
+}
+
+// Get returns the record with the given ID.
+func (s *Store) Get(id int) (Row, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id < 0 || id >= len(s.rows) {
+		return Row{}, false
+	}
+	return s.rows[id], true
+}
+
+// ByKey returns all records with the given key in insertion (hence time)
+// order.
+func (s *Store) ByKey(key string) []Row {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.byKey[key]
+	out := make([]Row, len(ids))
+	for i, id := range ids {
+		out[i] = s.rows[id]
+	}
+	return out
+}
+
+// Within returns all records within radius meters of center.
+func (s *Store) Within(center geo.Point, radius float64) []Row {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.tree.Search(geo.RectAround(center, radius), nil)
+	out := make([]Row, 0, len(ids))
+	for _, id := range ids {
+		if geo.Distance(center, s.rows[id].Point) <= radius {
+			out = append(out, s.rows[id])
+		}
+	}
+	return out
+}
+
+// SearchRect returns all records inside the rectangle.
+func (s *Store) SearchRect(q geo.Rect) []Row {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.tree.Search(q, nil)
+	out := make([]Row, 0, len(ids))
+	for _, id := range ids {
+		if q.Contains(s.rows[id].Point) {
+			out = append(out, s.rows[id])
+		}
+	}
+	return out
+}
+
+// Nearest returns up to k records nearest to p, ascending by distance.
+func (s *Store) Nearest(p geo.Point, k int) []Row {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	nbrs := s.tree.Nearest(p, k)
+	out := make([]Row, len(nbrs))
+	for i, n := range nbrs {
+		out[i] = s.rows[n.ID]
+	}
+	return out
+}

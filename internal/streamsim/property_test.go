@@ -1,0 +1,121 @@
+package streamsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pphcr/internal/radiodns"
+)
+
+// randomInsertions produces a random *valid* insertion sequence inside
+// [start, end): ordered, non-overlapping, fitting the window.
+func randomInsertions(rng *rand.Rand, start, end time.Time) []Insertion {
+	var out []Insertion
+	cursor := start
+	for {
+		gap := time.Duration(rng.Intn(600)) * time.Second
+		at := cursor.Add(gap)
+		dur := time.Duration(60+rng.Intn(540)) * time.Second
+		if at.Add(dur).After(end) {
+			break
+		}
+		ins := Insertion{Kind: SourceClip, Ref: "c", Title: "clip", At: at, Duration: dur}
+		if rng.Float64() < 0.3 {
+			ins.Kind = SourceTimeShifted
+			ins.ShiftedProgramStart = at.Add(-time.Duration(rng.Intn(1200)) * time.Second)
+		}
+		out = append(out, ins)
+		cursor = at.Add(dur)
+	}
+	return out
+}
+
+// TestTimelineProperties: for any valid insertion set, BuildTimeline
+// succeeds, Validate passes, insertions appear verbatim, and bandwidth
+// totals equal session length × bitrate.
+func TestTimelineProperties(t *testing.T) {
+	dir := radiodns.NewDirectory()
+	if err := dir.AddService(&radiodns.Service{ID: "s", Name: "S", GCC: "5e0", PI: "5200", Frequency: 9000}); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2016, 11, 15, 6, 0, 0, 0, time.UTC)
+	for i := 0; i < 48; i++ {
+		if err := dir.AddProgram(&radiodns.Program{
+			ID: time.Duration(i).String(), ServiceID: "s", Title: "p",
+			Start: base.Add(time.Duration(i) * 15 * time.Minute), Duration: 15 * time.Minute,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := &Player{Dir: dir, ServiceID: "s", BroadcastCapable: true}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		start := base.Add(time.Duration(rng.Intn(3600)) * time.Second)
+		end := start.Add(time.Duration(1800+rng.Intn(7200)) * time.Second)
+		inserts := randomInsertions(rng, start, end)
+		segs, err := p.BuildTimeline(start, end, inserts)
+		if err != nil {
+			t.Logf("seed %d: BuildTimeline: %v", seed, err)
+			return false
+		}
+		if err := Validate(segs, start, end); err != nil {
+			t.Logf("seed %d: Validate: %v", seed, err)
+			return false
+		}
+		// Every insertion appears as one segment with matching bounds.
+		found := 0
+		for _, ins := range inserts {
+			for _, s := range segs {
+				if s.Kind == ins.Kind && s.Start.Equal(ins.At) && s.End.Equal(ins.At.Add(ins.Duration)) {
+					found++
+					break
+				}
+			}
+		}
+		if found != len(inserts) {
+			t.Logf("seed %d: %d/%d insertions found", seed, found, len(inserts))
+			return false
+		}
+		// Conservation: total bytes = session duration at bitrate,
+		// regardless of the broadcast/unicast split.
+		bw := p.AccountBandwidth(segs, 96)
+		want := int64(96 * 1000 / 8 * end.Sub(start).Seconds())
+		diff := bw.Total() - want
+		if diff < 0 {
+			diff = -diff
+		}
+		// Per-segment float rounding: allow one byte per segment.
+		return diff <= int64(len(segs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimelineRejectsRandomViolations: shuffled (unordered) insertion
+// sequences with overlaps must be rejected, never silently reordered.
+func TestTimelineRejectsRandomViolations(t *testing.T) {
+	p := &Player{}
+	base := time.Date(2016, 11, 15, 10, 0, 0, 0, time.UTC)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		start := base
+		end := base.Add(time.Hour)
+		a := Insertion{Kind: SourceClip, At: start.Add(10 * time.Minute), Duration: 10 * time.Minute}
+		b := Insertion{Kind: SourceClip, At: a.At.Add(time.Duration(rng.Intn(9)+1) * time.Minute), Duration: 10 * time.Minute}
+		// b overlaps a; either order must fail.
+		if _, err := p.BuildTimeline(start, end, []Insertion{a, b}); err == nil {
+			return false
+		}
+		if _, err := p.BuildTimeline(start, end, []Insertion{b, a}); err == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package streamsim models the client-side audio plane of PPHCR: the
+// linear live stream, the buffer that lets the app seamlessly replace
+// program segments with recommended clips, and the time-shifted rejoin of
+// a live program from its scheduled start (Fig 4: after the "Decanter"
+// clip, Lilly hears "The rabbit's roar" that "began 20 minutes ago").
+//
+// No audio bytes are processed; the simulation operates on timeline
+// segments and byte accounting, which is what the paper's network
+// resource optimization argument is about.
+package streamsim
+
+import (
+	"fmt"
+	"time"
+
+	"pphcr/internal/radiodns"
+)
+
+// SourceKind says where a playback segment's audio comes from.
+type SourceKind int
+
+// Segment sources. Live arrives over the broadcast bearer when available;
+// clips and time-shifted programs always arrive over IP.
+const (
+	SourceLive SourceKind = iota
+	SourceClip
+	SourceTimeShifted
+)
+
+// String returns the source name.
+func (k SourceKind) String() string {
+	switch k {
+	case SourceLive:
+		return "live"
+	case SourceClip:
+		return "clip"
+	case SourceTimeShifted:
+		return "timeshift"
+	default:
+		return fmt.Sprintf("source(%d)", int(k))
+	}
+}
+
+// Segment is one contiguous piece of the playback timeline.
+type Segment struct {
+	Kind  SourceKind
+	Ref   string // program or item ID
+	Title string
+	Start time.Time
+	End   time.Time
+	// Lag is how far behind the live broadcast the material is
+	// (time-shifted segments only).
+	Lag time.Duration
+}
+
+// Duration returns the segment length.
+func (s Segment) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Insertion replaces live content starting At for the item's Duration.
+type Insertion struct {
+	Kind     SourceKind // SourceClip or SourceTimeShifted
+	Ref      string
+	Title    string
+	At       time.Time
+	Duration time.Duration
+	// ShiftedProgramStart is the scheduled start of the live program a
+	// SourceTimeShifted insertion replays; Lag = At − ShiftedProgramStart.
+	ShiftedProgramStart time.Time
+}
+
+// Player assembles playback timelines for one service.
+type Player struct {
+	Dir       *radiodns.Directory
+	ServiceID string
+	// BroadcastCapable marks a device that can receive the linear stream
+	// over FM/DAB+ instead of IP (the paper's network optimization).
+	BroadcastCapable bool
+}
+
+// BuildTimeline produces the gapless playback timeline for the session
+// [start, end): live radio by default, with the given insertions
+// replacing it. Insertions must be ordered, non-overlapping and inside
+// the session window.
+func (p *Player) BuildTimeline(start, end time.Time, inserts []Insertion) ([]Segment, error) {
+	if !end.After(start) {
+		return nil, fmt.Errorf("streamsim: empty session [%v, %v)", start, end)
+	}
+	cursor := start
+	var out []Segment
+	for i, ins := range inserts {
+		if ins.Duration <= 0 {
+			return nil, fmt.Errorf("streamsim: insertion %d has non-positive duration", i)
+		}
+		if ins.At.Before(cursor) {
+			return nil, fmt.Errorf("streamsim: insertion %d at %v overlaps previous content ending %v", i, ins.At, cursor)
+		}
+		insEnd := ins.At.Add(ins.Duration)
+		if insEnd.After(end) {
+			return nil, fmt.Errorf("streamsim: insertion %d ends %v after session end %v", i, insEnd, end)
+		}
+		// Live gap before the insertion.
+		out = append(out, p.liveSegments(cursor, ins.At)...)
+		seg := Segment{
+			Kind:  ins.Kind,
+			Ref:   ins.Ref,
+			Title: ins.Title,
+			Start: ins.At,
+			End:   insEnd,
+		}
+		if ins.Kind == SourceTimeShifted {
+			seg.Lag = ins.At.Sub(ins.ShiftedProgramStart)
+			if seg.Lag < 0 {
+				return nil, fmt.Errorf("streamsim: insertion %d time-shifts into the future", i)
+			}
+		}
+		out = append(out, seg)
+		cursor = insEnd
+	}
+	out = append(out, p.liveSegments(cursor, end)...)
+	return out, nil
+}
+
+// liveSegments fills [from, to) with live radio, split at program
+// boundaries when the schedule is known so each segment names its
+// program.
+func (p *Player) liveSegments(from, to time.Time) []Segment {
+	if !to.After(from) {
+		return nil
+	}
+	var out []Segment
+	cursor := from
+	for cursor.Before(to) {
+		seg := Segment{Kind: SourceLive, Start: cursor, End: to, Ref: "", Title: "live"}
+		if p.Dir != nil {
+			if prog, err := p.Dir.ProgramAt(p.ServiceID, cursor); err == nil {
+				seg.Ref = prog.ID
+				seg.Title = prog.Title
+				if prog.End().Before(to) {
+					seg.End = prog.End()
+				}
+			} else if b, err := p.Dir.NextBoundary(p.ServiceID, cursor); err == nil && b.Before(to) {
+				seg.End = b
+			}
+		}
+		out = append(out, seg)
+		cursor = seg.End
+	}
+	return out
+}
+
+// Validate checks the seamlessness invariant: segments tile [start, end)
+// exactly, with no gaps, no overlaps and no zero-length segments.
+func Validate(segments []Segment, start, end time.Time) error {
+	if len(segments) == 0 {
+		return fmt.Errorf("streamsim: empty timeline")
+	}
+	if !segments[0].Start.Equal(start) {
+		return fmt.Errorf("streamsim: timeline starts at %v, want %v", segments[0].Start, start)
+	}
+	for i, s := range segments {
+		if !s.End.After(s.Start) {
+			return fmt.Errorf("streamsim: segment %d empty or inverted", i)
+		}
+		if i > 0 && !s.Start.Equal(segments[i-1].End) {
+			return fmt.Errorf("streamsim: gap/overlap between segment %d and %d", i-1, i)
+		}
+	}
+	if last := segments[len(segments)-1].End; !last.Equal(end) {
+		return fmt.Errorf("streamsim: timeline ends at %v, want %v", last, end)
+	}
+	return nil
+}
+
+// MaxBufferLag returns the largest time-shift lag in the timeline — the
+// buffer depth (in playback time) the client must hold.
+func MaxBufferLag(segments []Segment) time.Duration {
+	var max time.Duration
+	for _, s := range segments {
+		if s.Lag > max {
+			max = s.Lag
+		}
+	}
+	return max
+}
+
+// Bandwidth is the per-session byte accounting split by delivery path.
+type Bandwidth struct {
+	BroadcastBytes int64
+	UnicastBytes   int64
+}
+
+// Total returns the overall bytes delivered.
+func (b Bandwidth) Total() int64 { return b.BroadcastBytes + b.UnicastBytes }
+
+// UnicastShare returns the fraction of bytes carried over IP.
+func (b Bandwidth) UnicastShare() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.UnicastBytes) / float64(t)
+}
+
+// AccountBandwidth computes the session's delivery bytes at the given
+// stream bitrate: live segments ride the broadcast channel when the
+// device is capable (costing the unicast network nothing extra), while
+// clips and time-shifted materials are always unicast.
+func (p *Player) AccountBandwidth(segments []Segment, bitrateKbps int) Bandwidth {
+	if bitrateKbps <= 0 {
+		bitrateKbps = 96
+	}
+	bytesFor := func(d time.Duration) int64 {
+		return int64(float64(bitrateKbps) * 1000 / 8 * d.Seconds())
+	}
+	var bw Bandwidth
+	for _, s := range segments {
+		n := bytesFor(s.Duration())
+		if s.Kind == SourceLive && p.BroadcastCapable {
+			bw.BroadcastBytes += n
+		} else {
+			bw.UnicastBytes += n
+		}
+	}
+	return bw
+}

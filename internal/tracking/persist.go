@@ -1,0 +1,67 @@
+package tracking
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"pphcr/internal/geo"
+	"pphcr/internal/trajectory"
+)
+
+// fixRecord is the serialized form of one GPS fix.
+type fixRecord struct {
+	Lat  float64 `json:"lat"`
+	Lon  float64 `json:"lon"`
+	Unix int64   `json:"unix"`
+}
+
+// Snapshot serializes every user's raw trace as JSON. The spatial index
+// is derived state and is rebuilt on Restore.
+func (t *Tracker) Snapshot(w io.Writer) error {
+	t.mu.RLock()
+	out := make(map[string][]fixRecord, len(t.traces))
+	for user, trace := range t.traces {
+		recs := make([]fixRecord, len(trace))
+		for i, f := range trace {
+			recs[i] = fixRecord{Lat: f.Point.Lat, Lon: f.Point.Lon, Unix: f.Time.Unix()}
+		}
+		out[user] = recs
+	}
+	t.mu.RUnlock()
+	return json.NewEncoder(w).Encode(out)
+}
+
+// Restore loads a snapshot into an empty tracker, rebuilding the spatial
+// index by replaying every fix.
+func (t *Tracker) Restore(rd io.Reader) error {
+	t.mu.RLock()
+	empty := len(t.traces) == 0
+	t.mu.RUnlock()
+	if !empty {
+		return fmt.Errorf("tracking: restore requires an empty tracker")
+	}
+	var in map[string][]fixRecord
+	if err := json.NewDecoder(rd).Decode(&in); err != nil {
+		return fmt.Errorf("tracking: decoding snapshot: %w", err)
+	}
+	users := make([]string, 0, len(in))
+	for u := range in {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		for _, rec := range in[u] {
+			fix := trajectory.Fix{
+				Point: geo.Point{Lat: rec.Lat, Lon: rec.Lon},
+				Time:  time.Unix(rec.Unix, 0).UTC(),
+			}
+			if err := t.Record(u, fix); err != nil {
+				return fmt.Errorf("tracking: restoring %q: %w", u, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package tracking
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTrackerSnapshotRestore(t *testing.T) {
+	tr := NewTracker()
+	driveCommutes(t, tr, "lilly", 7)
+	var buf bytes.Buffer
+	if err := tr.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewTracker()
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.FixCount("lilly") != tr.FixCount("lilly") {
+		t.Fatalf("fix counts differ: %d vs %d",
+			restored.FixCount("lilly"), tr.FixCount("lilly"))
+	}
+	// The spatial index is rebuilt: a range query matches the original.
+	origWithin := len(tr.Store().Within(torino, 2000))
+	restWithin := len(restored.Store().Within(torino, 2000))
+	if origWithin != restWithin {
+		t.Fatalf("spatial index mismatch: %d vs %d", origWithin, restWithin)
+	}
+	// Compaction works identically on the restored state.
+	a, err := tr.Compact("lilly", DefaultCompactParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Compact("lilly", DefaultCompactParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.StayPoints) != len(b.StayPoints) || len(a.Trips) != len(b.Trips) {
+		t.Fatalf("compaction differs: %d/%d vs %d/%d",
+			len(a.StayPoints), len(a.Trips), len(b.StayPoints), len(b.Trips))
+	}
+}
+
+func TestTrackerRestoreValidation(t *testing.T) {
+	tr := NewTracker()
+	driveCommutes(t, tr, "u", 2)
+	if err := tr.Restore(strings.NewReader("{}")); err == nil {
+		t.Fatal("restore into non-empty tracker accepted")
+	}
+	fresh := NewTracker()
+	if err := fresh.Restore(strings.NewReader("{bad")); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}

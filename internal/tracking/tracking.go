@@ -1,0 +1,188 @@
+// Package tracking implements the tracking-data DB and its periodic
+// compaction (§1.2): raw listener GPS fixes arrive continuously and are
+// "periodically process[ed] and simplif[ied], extracting a compact,
+// discrete model which describes destination, trajectory, speed,
+// frequency, time of the day and complexity". Staying points come from
+// density-based clustering and trajectories are simplified with RDP,
+// exactly as the paper states.
+package tracking
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pphcr/internal/geo"
+	"pphcr/internal/predict"
+	"pphcr/internal/spatial"
+	"pphcr/internal/trajectory"
+)
+
+// Tracker is the thread-safe tracking store: every fix lands in the
+// spatial DB (for map views and geo queries) and in a per-user
+// time-ordered trace (for compaction).
+type Tracker struct {
+	store *spatial.Store
+
+	mu     sync.RWMutex
+	traces map[string]trajectory.Trace
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		store:  spatial.NewStore(),
+		traces: make(map[string]trajectory.Trace),
+	}
+}
+
+// Record ingests one GPS fix for a user. Fixes must arrive in
+// non-decreasing time order per user (the client app sends them live).
+func (t *Tracker) Record(userID string, fix trajectory.Fix) error {
+	if userID == "" {
+		return fmt.Errorf("tracking: userID required")
+	}
+	if !fix.Point.Valid() {
+		return fmt.Errorf("tracking: invalid point %v", fix.Point)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	trace := t.traces[userID]
+	if n := len(trace); n > 0 && fix.Time.Before(trace[n-1].Time) {
+		return fmt.Errorf("tracking: out-of-order fix for %q (%v before %v)",
+			userID, fix.Time, trace[n-1].Time)
+	}
+	t.traces[userID] = append(trace, fix)
+	if _, err := t.store.Insert(fix.Point, fix.Time.Unix(), userID, nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Trace returns a copy of the user's raw trace.
+func (t *Tracker) Trace(userID string) trajectory.Trace {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append(trajectory.Trace(nil), t.traces[userID]...)
+}
+
+// FixCount returns the number of fixes stored for the user.
+func (t *Tracker) FixCount(userID string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.traces[userID])
+}
+
+// Store exposes the underlying spatial DB (for dashboard map queries).
+func (t *Tracker) Store() *spatial.Store { return t.store }
+
+// CompactParams tunes the compaction pass.
+type CompactParams struct {
+	// TripGap is the dwell time separating two trips.
+	TripGap time.Duration
+	// MinFixes discards GPS fragments shorter than this.
+	MinFixes int
+	// RDPEpsilonMeters is the trajectory simplification tolerance.
+	RDPEpsilonMeters float64
+	// StayPoints configures the staying-point clustering.
+	StayPoints trajectory.StayPointParams
+	// MatchRadiusMeters is how far a trip endpoint may be from a staying
+	// point and still be attributed to it.
+	MatchRadiusMeters float64
+}
+
+// DefaultCompactParams returns the experiment defaults.
+func DefaultCompactParams() CompactParams {
+	return CompactParams{
+		TripGap:           20 * time.Minute,
+		MinFixes:          5,
+		RDPEpsilonMeters:  30,
+		StayPoints:        trajectory.DefaultStayPointParams(),
+		MatchRadiusMeters: 200,
+	}
+}
+
+// CompactTrip is the discrete per-trip record of the compact model,
+// carrying exactly the attributes the paper lists.
+type CompactTrip struct {
+	From, To   predict.PlaceID
+	Depart     time.Time
+	Duration   time.Duration
+	Route      geo.Polyline // RDP-simplified
+	AvgSpeed   float64      // m/s
+	Complexity float64      // [0,1]
+}
+
+// CompactModel is the result of one compaction pass over a user's data.
+type CompactModel struct {
+	StayPoints []trajectory.StayPoint
+	Trips      []CompactTrip
+	// Frequency[place pair] = number of observed trips on that pair.
+	Frequency map[[2]predict.PlaceID]int
+	// Mobility is the prediction model built from the trips.
+	Mobility *predict.Model
+}
+
+// Compact runs the periodic compaction for one user: segment trips,
+// cluster endpoints into staying points, simplify each trip with RDP,
+// compute speed and complexity, and fit the mobility model.
+func (t *Tracker) Compact(userID string, params CompactParams) (*CompactModel, error) {
+	if params.TripGap <= 0 || params.MinFixes <= 0 {
+		params = DefaultCompactParams()
+	}
+	raw := t.Trace(userID)
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("tracking: no fixes for %q", userID)
+	}
+	trips := trajectory.SegmentTrips(raw, params.TripGap, params.MinFixes)
+	if len(trips) == 0 {
+		return nil, fmt.Errorf("tracking: no trips for %q after segmentation", userID)
+	}
+	// Staying points from trip endpoints.
+	var endpoints []geo.Point
+	for _, trip := range trips {
+		endpoints = append(endpoints, trip[0].Point, trip[len(trip)-1].Point)
+	}
+	stayPoints := trajectory.ExtractStayPoints(endpoints, params.StayPoints)
+
+	model := &CompactModel{
+		StayPoints: stayPoints,
+		Frequency:  make(map[[2]predict.PlaceID]int),
+	}
+	var records []predict.TripRecord
+	for _, trip := range trips {
+		pl := trip.Points()
+		simplified := trajectory.RDP(pl, params.RDPEpsilonMeters)
+		from := matchPlace(stayPoints, trip[0].Point, params.MatchRadiusMeters)
+		to := matchPlace(stayPoints, trip[len(trip)-1].Point, params.MatchRadiusMeters)
+		ct := CompactTrip{
+			From:       from,
+			To:         to,
+			Depart:     trip[0].Time,
+			Duration:   trip.Duration(),
+			Route:      simplified,
+			AvgSpeed:   trip.AverageSpeed(),
+			Complexity: trajectory.Complexity(pl, params.RDPEpsilonMeters),
+		}
+		model.Trips = append(model.Trips, ct)
+		if from != predict.NoPlace && to != predict.NoPlace && from != to {
+			model.Frequency[[2]predict.PlaceID{from, to}]++
+		}
+		records = append(records, predict.TripRecord{
+			From: from, To: to,
+			Depart:   ct.Depart,
+			Duration: ct.Duration,
+			Route:    simplified,
+		})
+	}
+	model.Mobility = predict.BuildModel(stayPoints, records, params.MatchRadiusMeters)
+	return model, nil
+}
+
+func matchPlace(points []trajectory.StayPoint, p geo.Point, radius float64) predict.PlaceID {
+	idx, d := trajectory.NearestStayPoint(points, p)
+	if idx < 0 || d > radius {
+		return predict.NoPlace
+	}
+	return predict.PlaceID(idx)
+}

@@ -1,0 +1,82 @@
+package trajectory
+
+import (
+	"math"
+	"sort"
+
+	"pphcr/internal/cluster"
+	"pphcr/internal/geo"
+	"pphcr/internal/spatial"
+)
+
+// StayPointParams configures density-based stay-point extraction.
+type StayPointParams struct {
+	// EpsMeters is the DBSCAN neighborhood radius. The paper clusters
+	// trip endpoints; 150 m absorbs parking scatter around a place.
+	EpsMeters float64
+	// MinPts is the DBSCAN core-point threshold: a place must be visited
+	// at least this many times to count as a major staying point.
+	MinPts int
+}
+
+// DefaultStayPointParams matches the defaults used by the experiments.
+func DefaultStayPointParams() StayPointParams {
+	return StayPointParams{EpsMeters: 150, MinPts: 3}
+}
+
+// ExtractStayPoints clusters candidate dwell locations (typically trip
+// endpoints) with DBSCAN and returns one StayPoint per cluster, ordered
+// by descending visit count. Noise points are dropped — they are one-off
+// destinations, not "major staying points".
+func ExtractStayPoints(candidates []geo.Point, params StayPointParams) []StayPoint {
+	if len(candidates) == 0 {
+		return nil
+	}
+	if params.EpsMeters <= 0 || params.MinPts <= 0 {
+		params = DefaultStayPointParams()
+	}
+	// Index the candidates so DBSCAN's neighborhood queries are cheap.
+	grid := spatial.NewGrid(params.EpsMeters, candidates[0].Lat)
+	for i, p := range candidates {
+		grid.Insert(p, i)
+	}
+	labels := cluster.DBSCAN(len(candidates), params.MinPts, func(i int) []int {
+		return grid.Within(candidates[i], params.EpsMeters, nil)
+	})
+	groups, _ := cluster.Groups(labels)
+	out := make([]StayPoint, 0, len(groups))
+	for _, g := range groups {
+		pts := make([]geo.Point, len(g))
+		for i, idx := range g {
+			pts[i] = candidates[idx]
+		}
+		out = append(out, StayPoint{Center: geo.Centroid(pts), Visits: len(g)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Visits != out[j].Visits {
+			return out[i].Visits > out[j].Visits
+		}
+		// Deterministic tie-break.
+		if out[i].Center.Lat != out[j].Center.Lat {
+			return out[i].Center.Lat < out[j].Center.Lat
+		}
+		return out[i].Center.Lon < out[j].Center.Lon
+	})
+	return out
+}
+
+// NearestStayPoint returns the index of the stay point nearest to p and
+// its distance in meters, or (-1, +Inf) when the list is empty.
+func NearestStayPoint(points []StayPoint, p geo.Point) (int, float64) {
+	best, bestD := -1, -1.0
+	for i, sp := range points {
+		d := geo.Distance(p, sp.Center)
+		if best == -1 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best == -1 {
+		return -1, math.Inf(1)
+	}
+	return best, bestD
+}

@@ -1,0 +1,77 @@
+package pphcr
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// snapshotEnvelope is the versioned on-disk format of a full system
+// snapshot: every durable store serialized independently so formats can
+// evolve per store.
+type snapshotEnvelope struct {
+	Version  int             `json:"version"`
+	Repo     json.RawMessage `json:"repo"`
+	Profiles json.RawMessage `json:"profiles"`
+	Feedback json.RawMessage `json:"feedback"`
+	Tracking json.RawMessage `json:"tracking"`
+}
+
+const snapshotVersion = 1
+
+// Snapshot serializes the system's durable state — content repository,
+// profiles, feedback and raw tracking — as one JSON document. Derived
+// state (spatial indexes, mobility models, pending injections) is
+// rebuilt after Restore; mobility models specifically require re-running
+// CompactTracking, as in a fresh deployment.
+func (s *System) Snapshot(w io.Writer) error {
+	var env snapshotEnvelope
+	env.Version = snapshotVersion
+	capture := func(name string, f func(io.Writer) error) (json.RawMessage, error) {
+		var buf bytes.Buffer
+		if err := f(&buf); err != nil {
+			return nil, fmt.Errorf("pphcr: snapshotting %s: %w", name, err)
+		}
+		return json.RawMessage(buf.Bytes()), nil
+	}
+	var err error
+	if env.Repo, err = capture("repository", s.Repo.Snapshot); err != nil {
+		return err
+	}
+	if env.Profiles, err = capture("profiles", s.Profiles.Snapshot); err != nil {
+		return err
+	}
+	if env.Feedback, err = capture("feedback", s.Feedback.Snapshot); err != nil {
+		return err
+	}
+	if env.Tracking, err = capture("tracking", s.Tracker.Snapshot); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(env)
+}
+
+// Restore loads a Snapshot into a freshly constructed System (same
+// Config). All stores must be empty.
+func (s *System) Restore(r io.Reader) error {
+	var env snapshotEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return fmt.Errorf("pphcr: decoding snapshot: %w", err)
+	}
+	if env.Version != snapshotVersion {
+		return fmt.Errorf("pphcr: unsupported snapshot version %d", env.Version)
+	}
+	if err := s.Repo.Restore(bytes.NewReader(env.Repo)); err != nil {
+		return err
+	}
+	if err := s.Profiles.Restore(bytes.NewReader(env.Profiles)); err != nil {
+		return err
+	}
+	if err := s.Feedback.Restore(bytes.NewReader(env.Feedback)); err != nil {
+		return err
+	}
+	if err := s.Tracker.Restore(bytes.NewReader(env.Tracking)); err != nil {
+		return err
+	}
+	return nil
+}

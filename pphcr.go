@@ -1,0 +1,406 @@
+// Package pphcr is the public API of the Proactive Personalized Hybrid
+// Content Radio system — a reproduction of Casagranda, Sapino and
+// Candan, "Context-Aware Proactive Personalization of Linear Audio
+// Content" (EDBT 2017).
+//
+// A System wires together every server component of the paper's
+// architecture (Fig 3): the content repository fed by the ASR +
+// Bayesian-classification ingestion pipeline, the user management
+// stores (profiles, feedbacks, tracking data), the message broker, and
+// the proactive recommender that plans context-aware replacements of the
+// linear radio stream.
+//
+// Typical use:
+//
+//	sys, err := pphcr.New(pphcr.Config{TrainingDocs: docs})
+//	...
+//	sys.RegisterUser(profile.Profile{UserID: "lilly", ...})
+//	sys.IngestPodcast(raw)            // ASR → classify → repository
+//	sys.RecordFix("lilly", fix)       // GPS tracking
+//	sys.AddFeedback(event)            // implicit/explicit feedback
+//	sys.CompactTracking("lilly")      // periodic mobility compaction
+//	plan, err := sys.PlanTrip("lilly", partialTrace, now)
+package pphcr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pphcr/internal/asr"
+	"pphcr/internal/broker"
+	"pphcr/internal/content"
+	"pphcr/internal/core"
+	"pphcr/internal/distraction"
+	"pphcr/internal/feedback"
+	"pphcr/internal/predict"
+	"pphcr/internal/profile"
+	"pphcr/internal/radiodns"
+	"pphcr/internal/recommend"
+	"pphcr/internal/textclass"
+	"pphcr/internal/tracking"
+	"pphcr/internal/trajectory"
+)
+
+// Config parameterizes a System.
+type Config struct {
+	// ContextWeight is λ of the compound relevance score. Default 0.4.
+	ContextWeight float64
+	// ASRWordErrorRate simulates the recognizer quality. Default 0.15.
+	ASRWordErrorRate float64
+	// Vocabulary seeds the ASR confusion pool (usually the corpus
+	// vocabulary).
+	Vocabulary []string
+	// TrainingDocs trains the Bayesian classifier; required.
+	TrainingDocs []textclass.Document
+	// Seed drives all simulated randomness. Default 1.
+	Seed int64
+	// CandidateWindow bounds how far back the recommender looks for
+	// candidate clips. Default 72h.
+	CandidateWindow time.Duration
+}
+
+// System is the PPHCR content server.
+type System struct {
+	Directory *radiodns.Directory
+	Repo      *content.Repository
+	Profiles  *profile.Store
+	Feedback  *feedback.Store
+	Tracker   *tracking.Tracker
+	Broker    *broker.Broker
+	Scorer    *recommend.Scorer
+	Planner   *core.Planner
+
+	pipeline        *content.Pipeline
+	candidateWindow time.Duration
+
+	mu        sync.RWMutex
+	mobility  map[string]*tracking.CompactModel
+	injected  map[string][]string // user -> editorially injected item IDs
+	lastPlans map[string]*TripPlan
+}
+
+// New builds and wires a System.
+func New(cfg Config) (*System, error) {
+	if len(cfg.TrainingDocs) == 0 {
+		return nil, fmt.Errorf("pphcr: Config.TrainingDocs required to train the classifier")
+	}
+	if cfg.ContextWeight == 0 {
+		cfg.ContextWeight = 0.4
+	}
+	if cfg.ASRWordErrorRate == 0 {
+		cfg.ASRWordErrorRate = 0.15
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.CandidateWindow <= 0 {
+		cfg.CandidateWindow = 72 * time.Hour
+	}
+	var nb textclass.NaiveBayes
+	if err := nb.Train(cfg.TrainingDocs); err != nil {
+		return nil, fmt.Errorf("pphcr: training classifier: %w", err)
+	}
+	recognizer, err := asr.New(cfg.ASRWordErrorRate, asr.DefaultErrorProfile(), cfg.Vocabulary, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("pphcr: building recognizer: %w", err)
+	}
+	scorer := recommend.NewScorer(cfg.ContextWeight)
+	repo := content.NewRepository()
+	s := &System{
+		Directory: radiodns.NewDirectory(),
+		Repo:      repo,
+		Profiles:  profile.NewStore(),
+		Feedback:  feedback.NewStore(),
+		Tracker:   tracking.NewTracker(),
+		Broker:    broker.New(),
+		Scorer:    scorer,
+		Planner:   core.NewPlanner(scorer),
+		pipeline: &content.Pipeline{
+			Recognizer: recognizer,
+			Classifier: &nb,
+			Repo:       repo,
+		},
+		candidateWindow: cfg.CandidateWindow,
+		mobility:        make(map[string]*tracking.CompactModel),
+		injected:        make(map[string][]string),
+		lastPlans:       make(map[string]*TripPlan),
+	}
+	return s, nil
+}
+
+// RegisterUser stores a listener profile.
+func (s *System) RegisterUser(p profile.Profile) error {
+	if err := s.Profiles.Put(p); err != nil {
+		return err
+	}
+	s.Broker.Publish("users.registered", []byte(p.UserID))
+	return nil
+}
+
+// IngestPodcast runs the clip-data-management pipeline on one podcast.
+func (s *System) IngestPodcast(raw content.RawPodcast) (*content.Item, error) {
+	it, err := s.pipeline.Ingest(raw)
+	if err != nil {
+		return nil, err
+	}
+	s.Broker.Publish("content.ingested."+it.TopCategory(), []byte(it.ID))
+	return it, nil
+}
+
+// RecordFix ingests one GPS sample for a user.
+func (s *System) RecordFix(userID string, fix trajectory.Fix) error {
+	if err := s.Tracker.Record(userID, fix); err != nil {
+		return err
+	}
+	s.Broker.Publish("tracking.gps", []byte(userID))
+	return nil
+}
+
+// AddFeedback stores one feedback event.
+func (s *System) AddFeedback(e feedback.Event) error {
+	if err := s.Feedback.Append(e); err != nil {
+		return err
+	}
+	s.Broker.Publish("feedback."+e.Kind.String(), []byte(e.UserID))
+	return nil
+}
+
+// CompactTracking runs the periodic tracking compaction for a user and
+// caches the resulting mobility model.
+func (s *System) CompactTracking(userID string) (*tracking.CompactModel, error) {
+	cm, err := s.Tracker.Compact(userID, tracking.DefaultCompactParams())
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.mobility[userID] = cm
+	s.mu.Unlock()
+	s.Broker.Publish("tracking.compacted", []byte(userID))
+	return cm, nil
+}
+
+// MobilityModel returns the cached compact model for a user.
+func (s *System) MobilityModel(userID string) (*tracking.CompactModel, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cm, ok := s.mobility[userID]
+	return cm, ok
+}
+
+// Preferences returns the user's current category preference vector:
+// time-decayed feedback blended with the profile's declared interests.
+func (s *System) Preferences(userID string, now time.Time) map[string]float64 {
+	params := feedback.DefaultPreferenceParams()
+	if p, err := s.Profiles.Get(userID); err == nil {
+		params.Seed = p.SeedPreferences()
+	}
+	return s.Feedback.Preferences(userID, now, params)
+}
+
+// Candidates returns the current candidate clip set: everything published
+// within the candidate window before now.
+func (s *System) Candidates(now time.Time) []*content.Item {
+	return s.Repo.PublishedSince(now.Add(-s.candidateWindow))
+}
+
+// Recommend ranks the current candidates for the user in the given
+// context. Editorially injected items (Fig 6) are pinned to the top with
+// full relevance, then removed from the injection list (inject-once
+// semantics).
+func (s *System) Recommend(userID string, ctx recommend.Context, k int) []recommend.Scored {
+	prefs := s.Preferences(userID, ctx.Now)
+	ranked := s.Scorer.Rank(prefs, s.Candidates(ctx.Now), ctx, k)
+
+	s.mu.Lock()
+	pinnedIDs := s.injected[userID]
+	delete(s.injected, userID)
+	s.mu.Unlock()
+	if len(pinnedIDs) == 0 {
+		return ranked
+	}
+	var pinned []recommend.Scored
+	seen := make(map[string]bool)
+	for _, id := range pinnedIDs {
+		if it, ok := s.Repo.Get(id); ok && !seen[id] {
+			pinned = append(pinned, recommend.Scored{Item: it, Content: 1, Context: 1, Compound: 1})
+			seen[id] = true
+		}
+	}
+	out := pinned
+	for _, sc := range ranked {
+		if !seen[sc.Item.ID] {
+			out = append(out, sc)
+		}
+	}
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Inject queues an editorial recommendation for a user (the control
+// dashboard's "inject recommended audio content to specific users",
+// §2 and Fig 6).
+func (s *System) Inject(userID, itemID string) error {
+	if _, ok := s.Repo.Get(itemID); !ok {
+		return fmt.Errorf("pphcr: cannot inject unknown item %q", itemID)
+	}
+	s.mu.Lock()
+	s.injected[userID] = append(s.injected[userID], itemID)
+	s.mu.Unlock()
+	s.Broker.Publish("editorial.injected", []byte(userID+":"+itemID))
+	return nil
+}
+
+// PendingInjections returns the queued editorial items for a user.
+func (s *System) PendingInjections(userID string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.injected[userID]...)
+}
+
+// TripPlan is the output of the full proactive pipeline for a trip in
+// progress.
+type TripPlan struct {
+	// Prediction is the mobility forecast (destination, ΔT, route).
+	Prediction predict.Prediction
+	// Proactive reports the phase-1 decision; Reason explains a negative.
+	Proactive bool
+	Reason    string
+	// Plan is the scheduled recommendation list (empty when !Proactive).
+	Plan core.Plan
+	// Context is the recommendation context derived from the prediction.
+	Context recommend.Context
+}
+
+// PlanTrip runs the end-to-end proactive flow for a user who started
+// driving: predict the trip from the partial trace and the compacted
+// mobility model, decide whether to recommend, and if so fill ΔT with
+// the relevance-maximizing clip schedule. The optional distraction
+// timeline gates transitions; pass nil when no road metadata is known.
+func (s *System) PlanTrip(userID string, partial trajectory.Trace, now time.Time, tl *distraction.Timeline) (*TripPlan, error) {
+	cm, ok := s.MobilityModel(userID)
+	if !ok {
+		return nil, fmt.Errorf("pphcr: no mobility model for %q (run CompactTracking)", userID)
+	}
+	if len(partial) == 0 {
+		return nil, fmt.Errorf("pphcr: empty partial trace")
+	}
+	pred, ok := cm.Mobility.PredictTrip(partial, now)
+	if !ok {
+		return &TripPlan{Proactive: false, Reason: "trip not recognized"}, nil
+	}
+	ctx := recommend.Context{
+		Now:      now,
+		Position: partial[len(partial)-1].Point,
+		Route:    pred.Route,
+		SpeedMS:  partial.AverageSpeed(),
+		DeltaT:   pred.DeltaT,
+		Driving:  true,
+	}
+	var timeline distraction.Timeline
+	if tl != nil {
+		timeline = *tl
+	}
+	tp := &TripPlan{Prediction: pred, Context: ctx}
+	tp.Proactive, tp.Reason = s.Planner.ShouldRecommend(core.Situation{
+		Ctx:            ctx,
+		TripConfidence: pred.Confidence,
+		Distraction:    timeline,
+	})
+	if !tp.Proactive {
+		s.rememberPlan(userID, tp)
+		return tp, nil
+	}
+	tp.Plan = s.Planner.Plan(core.Request{
+		Prefs:       s.Preferences(userID, now),
+		Candidates:  s.Candidates(now),
+		Ctx:         ctx,
+		Distraction: tl,
+	})
+	s.rememberPlan(userID, tp)
+	s.Broker.Publish("recommendations.planned", []byte(userID))
+	return tp, nil
+}
+
+func (s *System) rememberPlan(userID string, tp *TripPlan) {
+	s.mu.Lock()
+	s.lastPlans[userID] = tp
+	s.mu.Unlock()
+}
+
+// LastPlan returns the most recent trip plan computed for the user —
+// what the control dashboard shows as "the details of the recommendation
+// process" (§2.2).
+func (s *System) LastPlan(userID string) (*TripPlan, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tp, ok := s.lastPlans[userID]
+	return tp, ok
+}
+
+// ErrNoAlternative is returned by SkipLive when no suitable replacement
+// content exists; the client app stays on (or zaps) linear radio.
+var ErrNoAlternative = errors.New("pphcr: no alternative content available")
+
+// SkipLive handles the manual-skip task (§1.3, §2.1.1 "Greg"): the
+// listener skips the on-air program; the system records the implicit
+// negative feedback for that program and returns the most relevant
+// replacement clip the listener has not already skipped. The app then
+// seamlessly replaces the live audio with the returned clip.
+func (s *System) SkipLive(userID, serviceID string, ctx recommend.Context) (recommend.Scored, error) {
+	if prog, err := s.Directory.ProgramAt(serviceID, ctx.Now); err == nil {
+		if err := s.AddFeedback(feedback.Event{
+			UserID:     userID,
+			ItemID:     prog.ID,
+			Kind:       feedback.Skip,
+			At:         ctx.Now,
+			Categories: prog.Categories,
+		}); err != nil {
+			return recommend.Scored{}, err
+		}
+	}
+	skipped := make(map[string]bool)
+	for _, e := range s.Feedback.ByUser(userID) {
+		if e.Kind == feedback.Skip || e.Kind == feedback.Dislike {
+			skipped[e.ItemID] = true
+		}
+	}
+	for _, sc := range s.Recommend(userID, ctx, 0) {
+		if !skipped[sc.Item.ID] {
+			return sc, nil
+		}
+	}
+	return recommend.Scored{}, ErrNoAlternative
+}
+
+// SkipClip handles a skip of an already-playing recommended clip: the
+// negative feedback is recorded for the clip itself and the next
+// not-yet-skipped recommendation is returned.
+func (s *System) SkipClip(userID, itemID string, ctx recommend.Context) (recommend.Scored, error) {
+	if it, ok := s.Repo.Get(itemID); ok {
+		if err := s.AddFeedback(feedback.Event{
+			UserID:     userID,
+			ItemID:     it.ID,
+			Kind:       feedback.Skip,
+			At:         ctx.Now,
+			Categories: it.Categories,
+		}); err != nil {
+			return recommend.Scored{}, err
+		}
+	}
+	skipped := make(map[string]bool)
+	for _, e := range s.Feedback.ByUser(userID) {
+		if e.Kind == feedback.Skip || e.Kind == feedback.Dislike {
+			skipped[e.ItemID] = true
+		}
+	}
+	for _, sc := range s.Recommend(userID, ctx, 0) {
+		if !skipped[sc.Item.ID] {
+			return sc, nil
+		}
+	}
+	return recommend.Scored{}, ErrNoAlternative
+}

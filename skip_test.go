@@ -1,0 +1,140 @@
+package pphcr
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pphcr/internal/feedback"
+	"pphcr/internal/profile"
+	"pphcr/internal/radiodns"
+	"pphcr/internal/recommend"
+)
+
+// skipFixture builds a system with content and one service with a
+// program on air.
+func skipFixture(t *testing.T) (*System, time.Time) {
+	sys, w := newTestSystem(t)
+	var newest time.Time
+	for _, raw := range w.Corpus {
+		if _, err := sys.IngestPodcast(raw); err != nil {
+			t.Fatal(err)
+		}
+		if raw.Published.After(newest) {
+			newest = raw.Published
+		}
+	}
+	now := newest.Add(time.Hour)
+	if err := sys.Directory.AddService(&radiodns.Service{
+		ID: "radio1", Name: "R1", GCC: "5e0", PI: "5201", Frequency: 8990,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Directory.AddProgram(&radiodns.Program{
+		ID: "football-talk", ServiceID: "radio1", Title: "Endless football talk",
+		Start: now.Add(-10 * time.Minute), Duration: time.Hour,
+		Categories:  map[string]float64{"sport": 1},
+		Replaceable: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterUser(profile.Profile{
+		UserID: "greg", Interests: []string{"technology", "economics"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sys, now
+}
+
+func TestSkipLiveRecordsFeedbackAndRecommends(t *testing.T) {
+	sys, now := skipFixture(t)
+	ctx := recommend.Context{Now: now}
+	sc, err := sys.SkipLive("greg", "radio1", ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The skip landed against the on-air program with its categories.
+	events := sys.Feedback.ByUser("greg")
+	if len(events) != 1 || events[0].Kind != feedback.Skip || events[0].ItemID != "football-talk" {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].Categories["sport"] != 1 {
+		t.Fatal("program categories not denormalized")
+	}
+	// The replacement matches Greg's interests.
+	top := sc.Item.TopCategory()
+	if top != "technology" && top != "economics" {
+		t.Fatalf("replacement category = %q", top)
+	}
+	// The skip feedback immediately depresses sport in the preferences.
+	if prefs := sys.Preferences("greg", now); prefs["sport"] >= 0 {
+		t.Fatalf("sport pref = %v after skip", prefs["sport"])
+	}
+}
+
+func TestSkipClipWalksDownTheList(t *testing.T) {
+	sys, now := skipFixture(t)
+	ctx := recommend.Context{Now: now}
+	// An established taste: a few likes so that single skips cannot drive
+	// whole categories negative (a skip outweighs the 0.5 seed alone).
+	for _, cat := range []string{"technology", "economics"} {
+		for i, it := range sys.Repo.ByCategory(cat) {
+			if i >= 3 {
+				break
+			}
+			if err := sys.AddFeedback(feedback.Event{
+				UserID: "greg", ItemID: it.ID, Kind: feedback.Like,
+				At: now.Add(-2 * time.Hour), Categories: it.Categories,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	first, err := sys.SkipLive("greg", "radio1", ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sys.SkipClip("greg", first.Item.ID, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Item.ID == first.Item.ID {
+		t.Fatal("skip returned the same item")
+	}
+	third, err := sys.SkipClip("greg", second.Item.ID, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Item.ID == first.Item.ID || third.Item.ID == second.Item.ID {
+		t.Fatal("skipped item returned again")
+	}
+}
+
+func TestSkipLiveNoSchedule(t *testing.T) {
+	sys, now := skipFixture(t)
+	// Unknown service: no program feedback, but a recommendation still
+	// comes back (the user zapped from an unmanaged tuner).
+	sc, err := sys.SkipLive("greg", "ghost-service", recommend.Context{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Item == nil {
+		t.Fatal("no recommendation")
+	}
+	if len(sys.Feedback.ByUser("greg")) != 0 {
+		t.Fatal("feedback recorded for unknown program")
+	}
+}
+
+func TestSkipExhaustsAlternatives(t *testing.T) {
+	sys, w := newTestSystem(t)
+	_ = w
+	if err := sys.RegisterUser(profile.Profile{UserID: "u", Interests: []string{"food"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Empty repository: nothing to recommend.
+	_, err := sys.SkipLive("u", "radio1", recommend.Context{Now: time.Now()})
+	if !errors.Is(err, ErrNoAlternative) {
+		t.Fatalf("err = %v, want ErrNoAlternative", err)
+	}
+}
