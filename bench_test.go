@@ -4,10 +4,18 @@
 package pphcr_test
 
 import (
+	"fmt"
 	"io"
+	"sync"
 	"testing"
+	"time"
 
+	"pphcr"
 	"pphcr/internal/experiments"
+	"pphcr/internal/plancache"
+	"pphcr/internal/predict"
+	"pphcr/internal/synth"
+	"pphcr/internal/trajectory"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -38,3 +46,164 @@ func BenchmarkA2Distraction(b *testing.B)        { benchExperiment(b, "A2") }
 func BenchmarkA3Ensemble(b *testing.B)           { benchExperiment(b, "A3") }
 func BenchmarkA4GeoRelevance(b *testing.B)       { benchExperiment(b, "A4") }
 func BenchmarkA5RicherContext(b *testing.B)      { benchExperiment(b, "A5") }
+
+// ---- Proactive plan-warming benchmarks -------------------------------
+//
+// BenchmarkPlanTripCold runs the full predict→rank→allocate pipeline on
+// every iteration (the cache is emptied first); BenchmarkPlanTripWarm
+// serves the same request from the warm plan cache. The gap between the
+// two is the latency the precompute subsystem removes from the request
+// path.
+
+type planBenchEnv struct {
+	sys     *pphcr.System
+	user    string
+	partial trajectory.Trace
+	now     time.Time
+}
+
+var (
+	planEnvOnce sync.Once
+	planEnv     *planBenchEnv
+	planEnvErr  error
+)
+
+func getPlanEnv(b *testing.B) *planBenchEnv {
+	b.Helper()
+	planEnvOnce.Do(func() {
+		w, err := synth.GenerateWorld(synth.Params{
+			Seed: 21, Days: 5, Users: 2, Stations: 2, PodcastsPerDay: 40,
+			TrainingDocsPerCategory: 8,
+		})
+		if err != nil {
+			planEnvErr = err
+			return
+		}
+		sys, err := pphcr.New(pphcr.Config{TrainingDocs: w.Training, Vocabulary: w.FlatVocab})
+		if err != nil {
+			planEnvErr = err
+			return
+		}
+		persona := w.Personas[0]
+		user := persona.Profile.UserID
+		if err := sys.RegisterUser(persona.Profile); err != nil {
+			planEnvErr = err
+			return
+		}
+		for _, raw := range w.Corpus {
+			if _, err := sys.IngestPodcast(raw); err != nil {
+				planEnvErr = err
+				return
+			}
+		}
+		for d := 0; d < w.Params.Days; d++ {
+			day := w.Params.StartDate.AddDate(0, 0, d)
+			if wd := day.Weekday(); wd == time.Saturday || wd == time.Sunday {
+				continue
+			}
+			for _, morning := range []bool{true, false} {
+				trace, _, err := w.CommuteTrace(persona, day, morning)
+				if err != nil {
+					planEnvErr = err
+					return
+				}
+				for _, fix := range trace {
+					if err := sys.RecordFix(user, fix); err != nil {
+						planEnvErr = err
+						return
+					}
+				}
+			}
+		}
+		if _, err := sys.CompactTracking(user); err != nil {
+			planEnvErr = err
+			return
+		}
+		day := w.Params.StartDate.AddDate(0, 0, 7)
+		full, _, err := w.CommuteTrace(persona, day, true)
+		if err != nil {
+			planEnvErr = err
+			return
+		}
+		var partial trajectory.Trace
+		for _, fix := range full {
+			if fix.Time.Sub(full[0].Time) > 3*time.Minute {
+				break
+			}
+			partial = append(partial, fix)
+		}
+		planEnv = &planBenchEnv{
+			sys: sys, user: user,
+			partial: partial, now: partial[len(partial)-1].Time,
+		}
+	})
+	if planEnvErr != nil {
+		b.Fatal(planEnvErr)
+	}
+	return planEnv
+}
+
+func BenchmarkPlanTripCold(b *testing.B) {
+	env := getPlanEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.sys.PlanCache.InvalidateUser(env.user)
+		tp, err := env.sys.PlanTrip(env.user, env.partial, env.now, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tp.Source != pphcr.PlanSourceCold {
+			b.Fatalf("source = %q", tp.Source)
+		}
+	}
+}
+
+func BenchmarkPlanTripWarm(b *testing.B) {
+	env := getPlanEnv(b)
+	// Prime the cache, then every iteration is a warm serve.
+	if _, err := env.sys.PlanTrip(env.user, env.partial, env.now, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp, err := env.sys.PlanTrip(env.user, env.partial, env.now, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tp.Source != pphcr.PlanSourceWarm {
+			b.Fatalf("source = %q", tp.Source)
+		}
+	}
+}
+
+// BenchmarkPlanCacheConcurrent measures the sharded cache itself under
+// parallel mixed load (15/16 reads, 1/16 writes across 64 users).
+func BenchmarkPlanCacheConcurrent(b *testing.B) {
+	c := plancache.New(plancache.Config{Shards: 32, TTL: time.Hour})
+	keys := make([]plancache.Key, 0, 64*16)
+	for u := 0; u < 64; u++ {
+		for d := 0; d < 16; d++ {
+			keys = append(keys, plancache.Key{
+				User:   fmt.Sprintf("user-%03d", u),
+				Dest:   predict.PlaceID(d),
+				Bucket: predict.TimeBucket(d % 12),
+			})
+		}
+	}
+	for _, k := range keys {
+		c.Put(k, &pphcr.TripPlan{})
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			k := keys[i%len(keys)]
+			if i%16 == 0 {
+				c.Put(k, &pphcr.TripPlan{})
+			} else {
+				c.Get(k)
+			}
+			i++
+		}
+	})
+}

@@ -16,26 +16,33 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"pphcr"
 	"pphcr/internal/dashboard"
 	"pphcr/internal/httpapi"
+	"pphcr/internal/precompute"
 	"pphcr/internal/service"
 	"pphcr/internal/synth"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		seed  = flag.Int64("seed", 2017, "world seed")
-		days  = flag.Int("days", 14, "days of synthetic content and schedules")
-		users = flag.Int("users", 20, "synthetic personas")
-		track = flag.Bool("track", true, "preload persona commute traces and compact them")
+		addr        = flag.String("addr", ":8080", "listen address")
+		seed        = flag.Int64("seed", 2017, "world seed")
+		days        = flag.Int("days", 14, "days of synthetic content and schedules")
+		users       = flag.Int("users", 20, "synthetic personas")
+		track       = flag.Bool("track", true, "preload persona commute traces and compact them")
+		warmWorkers = flag.Int("warm-workers", 4, "plan-warming worker pool size (0 disables the warmer)")
+		planTTL     = flag.Duration("plan-ttl", 10*time.Minute, "warm plan time-to-live")
+		cacheShards = flag.Int("cache-shards", 32, "plan cache shard count")
 	)
 	flag.Parse()
 
@@ -45,9 +52,11 @@ func main() {
 		log.Fatal(err)
 	}
 	sys, err := pphcr.New(pphcr.Config{
-		TrainingDocs: w.Training,
-		Vocabulary:   w.FlatVocab,
-		Seed:         *seed,
+		TrainingDocs:    w.Training,
+		Vocabulary:      w.FlatVocab,
+		Seed:            *seed,
+		PlanCacheShards: *cacheShards,
+		PlanTTL:         *planTTL,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -109,21 +118,68 @@ func main() {
 		log.Fatal(err)
 	}
 	stop := make(chan struct{})
-	defer close(stop)
 	go compactor.Run(stop)
 
+	// The synthetic world lives in the past; anchor the warmer's clock to
+	// it so plan warming targets instants that actually have candidates.
+	worldEnd := w.Params.StartDate.AddDate(0, 0, w.Params.Days)
+	bootReal := time.Now()
+	worldClock := func() time.Time { return worldEnd.Add(time.Since(bootReal)) }
+
+	api := httpapi.NewServer(sys)
+	var warmer *service.Warmer
+	if *warmWorkers > 0 {
+		warmer, err = service.NewWarmer(sys, precompute.Config{
+			Workers: *warmWorkers,
+			Now:     worldClock,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("prewarming plans for %d users (%d workers, ttl %v, %d shards)...",
+			len(sys.MobilityUsers()), *warmWorkers, *planTTL, *cacheShards)
+		start := time.Now()
+		warmed := warmer.Prewarm(sys, worldEnd)
+		log.Printf("prewarmed %d plans in %v (cache: %d entries)",
+			warmed, time.Since(start).Round(time.Millisecond), sys.PlanCache.Len())
+		go warmer.Run(stop)
+		api.SetWarmerStats(func() interface{} { return warmer.Stats() })
+	}
+
 	mux := http.NewServeMux()
-	mux.Handle("/api/", httpapi.NewServer(sys).Handler())
-	mux.Handle("/healthz", httpapi.NewServer(sys).Handler())
+	mux.Handle("/api/", api.Handler())
+	mux.Handle("/healthz", api.Handler())
+	mux.Handle("/stats", api.Handler())
 	mux.Handle("/dashboard/", dashboard.NewServer(sys).Handler())
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "PPHCR content server — see /api/services, /api/recommendations, /dashboard/trajectory")
+		fmt.Fprintln(w, "PPHCR content server — see /api/services, /api/recommendations, /api/plan, /stats, /dashboard/trajectory")
 	})
-	worldNow := w.Params.StartDate.AddDate(0, 0, w.Params.Days).Unix()
+	worldNow := worldEnd.Unix()
 	log.Printf("PPHCR server listening on %s (users: %v...)", *addr, firstN(sys.Profiles.UserIDs(), 3))
 	log.Printf("the synthetic world lives around unix %d — pass it to time-scoped endpoints, e.g.", worldNow)
 	log.Printf("  curl 'localhost%s/api/recommendations?user=%s&k=5&unix=%d'", *addr, firstN(sys.Profiles.UserIDs(), 1)[0], worldNow)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests and stop
+	// the background workers.
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		close(stop)
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down...")
+	close(stop)
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShutdown()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("bye")
 }
 
 func firstN(xs []string, n int) []string {

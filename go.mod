@@ -1,0 +1,3 @@
+module pphcr
+
+go 1.24

@@ -25,12 +25,22 @@ import (
 type Server struct {
 	sys *pphcr.System
 	mux *http.ServeMux
+
+	// warm/cold latency aggregates of the /api/plan fast and slow paths,
+	// reported by /stats.
+	warmLat latencyAgg
+	coldLat latencyAgg
+	// warmerStats, when set, contributes the precompute scheduler's
+	// counters to /stats.
+	warmerStats func() interface{}
 }
 
 // NewServer wraps a System.
 func NewServer(sys *pphcr.System) *Server {
 	s := &Server{sys: sys, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/users", s.handleUsers)
 	s.mux.HandleFunc("/api/users/", s.handleUserByID)
 	s.mux.HandleFunc("/api/track", s.handleTrack)

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"pphcr"
 	"pphcr/internal/geo"
 	"pphcr/internal/trajectory"
 )
@@ -30,13 +31,15 @@ type PlanItemView struct {
 	Compound     float64 `json:"compound_score"`
 }
 
-// PlanView is the planning response.
+// PlanView is the planning response. Served reports whether the plan
+// came from the warm cache ("warm") or the full pipeline ("cold").
 type PlanView struct {
 	Proactive      bool           `json:"proactive"`
 	Reason         string         `json:"reason,omitempty"`
 	Destination    int            `json:"destination_place"`
 	Confidence     float64        `json:"confidence"`
 	DeltaTSeconds  int            `json:"delta_t_seconds"`
+	Served         string         `json:"served,omitempty"`
 	Items          []PlanItemView `json:"items"`
 	DroppedReasons []string       `json:"dropped_reasons,omitempty"`
 }
@@ -66,10 +69,21 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if body.NowUnix != 0 {
 		now = time.Unix(body.NowUnix, 0).UTC()
 	}
+	started := time.Now()
 	tp, err := s.sys.PlanTrip(body.UserID, partial, now, nil)
+	elapsed := time.Since(started)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
+	}
+	// Only plan-producing requests enter the latency aggregates: early
+	// declines (unrecognized trip, phase-1 negative) return in
+	// microseconds and would make the cold pipeline look free.
+	switch {
+	case tp.Source == pphcr.PlanSourceWarm:
+		s.warmLat.observe(elapsed)
+	case tp.Source == pphcr.PlanSourceCold && tp.Proactive:
+		s.coldLat.observe(elapsed)
 	}
 	view := PlanView{
 		Proactive:     tp.Proactive,
@@ -77,6 +91,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Destination:   int(tp.Prediction.Dest),
 		Confidence:    tp.Prediction.Confidence,
 		DeltaTSeconds: int(tp.Prediction.DeltaT.Seconds()),
+		Served:        tp.Source,
 	}
 	for _, it := range tp.Plan.Items {
 		v := PlanItemView{

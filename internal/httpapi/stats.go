@@ -1,0 +1,76 @@
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"pphcr/internal/plancache"
+)
+
+// latencyAgg accumulates request latencies for one plan-serving path.
+type latencyAgg struct {
+	mu    sync.Mutex
+	count int64
+	total time.Duration
+	max   time.Duration
+}
+
+func (l *latencyAgg) observe(d time.Duration) {
+	l.mu.Lock()
+	l.count++
+	l.total += d
+	if d > l.max {
+		l.max = d
+	}
+	l.mu.Unlock()
+}
+
+// LatencyView is the JSON shape of one latency aggregate.
+type LatencyView struct {
+	Count     int64   `json:"count"`
+	AvgMicros float64 `json:"avg_micros"`
+	MaxMicros float64 `json:"max_micros"`
+}
+
+func (l *latencyAgg) view() LatencyView {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	v := LatencyView{Count: l.count, MaxMicros: float64(l.max.Microseconds())}
+	if l.count > 0 {
+		v.AvgMicros = float64(l.total.Microseconds()) / float64(l.count)
+	}
+	return v
+}
+
+// StatsView is the /stats response: plan-cache counters (with hit rate),
+// warm-vs-cold plan latency, and — when a warmer is attached — the
+// precompute scheduler's counters.
+type StatsView struct {
+	Cache plancache.Stats `json:"cache"`
+	Plan  struct {
+		Warm LatencyView `json:"warm"`
+		Cold LatencyView `json:"cold"`
+	} `json:"plan"`
+	Warmer interface{} `json:"warmer,omitempty"`
+}
+
+// SetWarmerStats attaches a provider of precompute-scheduler counters to
+// the /stats endpoint (the server passes the Warmer's Stats method).
+func (s *Server) SetWarmerStats(fn func() interface{}) { s.warmerStats = fn }
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	var view StatsView
+	view.Cache = s.sys.PlanCache.Stats()
+	view.Plan.Warm = s.warmLat.view()
+	view.Plan.Cold = s.coldLat.view()
+	if s.warmerStats != nil {
+		view.Warmer = s.warmerStats()
+	}
+	writeJSON(w, http.StatusOK, view)
+}

@@ -1,0 +1,365 @@
+// Package plancache is the sharded store of precomputed trip plans that
+// makes the system's personalization genuinely *proactive* at scale:
+// instead of running the full predict→rank→allocate pipeline inside every
+// PlanTrip call, finished plans are cached keyed by (user, predicted
+// destination, time-of-day bucket) — the three coordinates that determine
+// a recommendation plan for an anticipated trip — and served in O(1) when
+// the live prediction matches. The design follows the context-aware
+// proactive-caching literature (Müller et al.): per-user differentiated
+// entries, a TTL bounding content staleness, and event-driven
+// invalidation (feedback, new content, re-compacted mobility) handled by
+// the owning System and the precompute scheduler.
+//
+// The cache is sharded (FNV-1a over the key, 32 ways by default) so that
+// concurrent warmers and request-path readers contend only per shard, and
+// every counter is atomic: the /stats endpoint reads hit/miss/stale/
+// eviction totals without stopping traffic.
+package plancache
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pphcr/internal/predict"
+)
+
+// Key identifies one precomputed plan: who is travelling, where the
+// mobility model says they are going, and in which time-of-day bucket the
+// trip starts (the bucket conditions both the Markov transition and the
+// plan's candidate set).
+type Key struct {
+	User   string
+	Dest   predict.PlaceID
+	Bucket predict.TimeBucket
+}
+
+// Config tunes a Cache.
+type Config struct {
+	// Shards is the number of independently locked segments. Default 32.
+	Shards int
+	// TTL bounds how long a cached plan may be served. Default 10 minutes
+	// — long enough to cover a warm-ahead window, short enough that the
+	// candidate clip set cannot drift far.
+	TTL time.Duration
+	// MaxPerShard caps each shard's entry count; 0 means unbounded. When
+	// full, the oldest entry in the shard is evicted on Put.
+	MaxPerShard int
+	// Now overrides the clock (tests). Nil means time.Now.
+	Now func() time.Time
+}
+
+// DefaultShards is the shard count used when Config.Shards is zero.
+const DefaultShards = 32
+
+// DefaultTTL is the plan time-to-live used when Config.TTL is zero.
+const DefaultTTL = 10 * time.Minute
+
+type entry struct {
+	value    any
+	ver      Version
+	storedAt time.Time
+	expires  time.Time
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[Key]entry
+	// gens holds the invalidation generation of every user whose keys
+	// hash (by user alone) into this shard; bumped by InvalidateUser.
+	genMu sync.Mutex
+	gens  map[string]uint64
+}
+
+// Version identifies the invalidation state a value was computed under:
+// the global epoch and the owning user's generation. Capture it with
+// Snapshot *before* sampling the inputs a value is computed from, and
+// store with PutVersioned — an invalidation racing the computation then
+// marks the entry stale instead of letting it masquerade as fresh.
+type Version struct {
+	Epoch   uint64
+	UserGen uint64
+}
+
+// Cache is the sharded, TTL'd plan store. It is safe for concurrent use.
+type Cache struct {
+	cfg    Config
+	shards []shard
+	epoch  atomic.Uint64
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	stale         atomic.Int64
+	evictions     atomic.Int64
+	puts          atomic.Int64
+	invalidations atomic.Int64
+}
+
+// New builds a cache. Zero-value Config fields take the documented
+// defaults.
+func New(cfg Config) *Cache {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Cache{cfg: cfg, shards: make([]shard, cfg.Shards)}
+	for i := range c.shards {
+		c.shards[i].m = make(map[Key]entry)
+		c.shards[i].gens = make(map[string]uint64)
+	}
+	return c
+}
+
+// TTL reports the configured time-to-live.
+func (c *Cache) TTL() time.Duration { return c.cfg.TTL }
+
+// FNV-1a, inlined: shardFor sits on the request fast path and must not
+// allocate (hash/fnv costs a hasher plus a byte slice per call).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func fnvString(h uint32, s string) uint32 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
+func fnvByte(h uint32, b byte) uint32 {
+	h ^= uint32(b)
+	h *= fnvPrime32
+	return h
+}
+
+func (c *Cache) shardFor(k Key) *shard {
+	h := fnvString(fnvOffset32, k.User)
+	h = fnvByte(h, byte(k.Dest))
+	h = fnvByte(h, byte(k.Dest>>8))
+	h = fnvByte(h, byte(k.Dest>>16))
+	h = fnvByte(h, byte(k.Dest>>24))
+	h = fnvByte(h, byte(k.Bucket))
+	return &c.shards[h%uint32(len(c.shards))]
+}
+
+// genShardFor hashes by user alone, so all of a user's generation
+// lookups land on one shard regardless of destination and bucket.
+func (c *Cache) genShardFor(user string) *shard {
+	return &c.shards[fnvString(fnvOffset32, user)%uint32(len(c.shards))]
+}
+
+func (c *Cache) userGen(user string) uint64 {
+	sh := c.genShardFor(user)
+	sh.genMu.Lock()
+	g := sh.gens[user]
+	sh.genMu.Unlock()
+	return g
+}
+
+// Snapshot captures the invalidation state for a user's keys; see
+// Version.
+func (c *Cache) Snapshot(user string) Version {
+	return Version{Epoch: c.epoch.Load(), UserGen: c.userGen(user)}
+}
+
+// Get returns the cached value for k, counting a hit or a miss. Entries
+// past their TTL or from an invalidated epoch count as stale misses and
+// are evicted.
+func (c *Cache) Get(k Key) (any, bool) {
+	return c.GetIf(k, nil)
+}
+
+// GetIf is Get with a caller-side usability check: an entry that is
+// present and fresh but rejected by usable (e.g. a plan that no longer
+// fits the live ΔT) counts as a stale miss and is evicted, so the caller
+// can recompute and re-Put without the dead entry lingering.
+func (c *Cache) GetIf(k Key, usable func(v any) bool) (any, bool) {
+	sh := c.shardFor(k)
+	now := c.cfg.Now()
+	sh.mu.RLock()
+	e, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	if e.ver != c.Snapshot(k.User) || now.After(e.expires) || (usable != nil && !usable(e.value)) {
+		c.dropIfUnchanged(sh, k, e.storedAt)
+		c.stale.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.value, true
+}
+
+// Contains reports whether a fresh entry exists for k without touching
+// the hit/miss counters (used by the warmer to skip redundant work).
+func (c *Cache) Contains(k Key) bool {
+	sh := c.shardFor(k)
+	now := c.cfg.Now()
+	sh.mu.RLock()
+	e, ok := sh.m[k]
+	sh.mu.RUnlock()
+	return ok && e.ver == c.Snapshot(k.User) && !now.After(e.expires)
+}
+
+// dropIfUnchanged removes k only if the stored entry is still the one the
+// caller observed (identified by storedAt), so a concurrent re-Put wins.
+func (c *Cache) dropIfUnchanged(sh *shard, k Key, storedAt time.Time) {
+	sh.mu.Lock()
+	if cur, ok := sh.m[k]; ok && cur.storedAt.Equal(storedAt) {
+		delete(sh.m, k)
+		c.evictions.Add(1)
+	}
+	sh.mu.Unlock()
+}
+
+// Put stores (replacing) the value for k with the configured TTL,
+// stamped with the current invalidation state.
+func (c *Cache) Put(k Key, v any) {
+	c.PutVersioned(k, v, c.Snapshot(k.User))
+}
+
+// PutVersioned stores the value stamped with a Version the caller
+// captured before computing it (see Snapshot).
+func (c *Cache) PutVersioned(k Key, v any, ver Version) {
+	sh := c.shardFor(k)
+	now := c.cfg.Now()
+	e := entry{value: v, ver: ver, storedAt: now, expires: now.Add(c.cfg.TTL)}
+	sh.mu.Lock()
+	if c.cfg.MaxPerShard > 0 && len(sh.m) >= c.cfg.MaxPerShard {
+		if _, replacing := sh.m[k]; !replacing {
+			c.evictOldestLocked(sh)
+		}
+	}
+	sh.m[k] = e
+	sh.mu.Unlock()
+	c.puts.Add(1)
+}
+
+func (c *Cache) evictOldestLocked(sh *shard) {
+	var oldest Key
+	var oldestAt time.Time
+	first := true
+	for k, e := range sh.m {
+		if first || e.storedAt.Before(oldestAt) {
+			oldest, oldestAt, first = k, e.storedAt, false
+		}
+	}
+	if !first {
+		delete(sh.m, oldest)
+		c.evictions.Add(1)
+	}
+}
+
+// InvalidateUser drops every entry belonging to user (mobility model
+// rebuilt, feedback shifted the preference vector, …) and returns the
+// number removed. The user's generation is bumped first, so a value
+// computed before the invalidation but stored after it (by a racing
+// warm worker holding an older Snapshot) lands stale.
+func (c *Cache) InvalidateUser(user string) int {
+	gsh := c.genShardFor(user)
+	gsh.genMu.Lock()
+	gsh.gens[user]++
+	gsh.genMu.Unlock()
+
+	removed := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k := range sh.m {
+			if k.User == user {
+				delete(sh.m, k)
+				removed++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if removed > 0 {
+		c.invalidations.Add(int64(removed))
+	}
+	return removed
+}
+
+// InvalidateAll marks every current entry stale in O(1) by bumping the
+// cache epoch (used when new content changes every user's candidate set).
+// Stale entries are evicted lazily on read or by Sweep.
+func (c *Cache) InvalidateAll() {
+	c.epoch.Add(1)
+	c.invalidations.Add(1)
+}
+
+// Sweep eagerly removes expired and version-stale entries, returning
+// the number evicted. The warmer calls it on its housekeeping tick.
+func (c *Cache) Sweep() int {
+	now := c.cfg.Now()
+	removed := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			if e.ver != c.Snapshot(k.User) || now.After(e.expires) {
+				delete(sh.m, k)
+				removed++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if removed > 0 {
+		c.evictions.Add(int64(removed))
+	}
+	return removed
+}
+
+// Len returns the total number of entries (including not-yet-swept stale
+// ones).
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats is a consistent-enough snapshot of the cache counters.
+type Stats struct {
+	Shards        int     `json:"shards"`
+	Entries       int     `json:"entries"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Stale         int64   `json:"stale"`
+	Evictions     int64   `json:"evictions"`
+	Puts          int64   `json:"puts"`
+	Invalidations int64   `json:"invalidations"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
+// Stats snapshots the counters. HitRate is hits/(hits+misses), 0 when no
+// lookups happened yet.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Shards:        len(c.shards),
+		Entries:       c.Len(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Stale:         c.stale.Load(),
+		Evictions:     c.evictions.Load(),
+		Puts:          c.puts.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,292 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pphcr/internal/predict"
+)
+
+func key(user string, dest, bucket int) Key {
+	return Key{User: user, Dest: predict.PlaceID(dest), Bucket: predict.TimeBucket(bucket)}
+}
+
+// fakeClock lets tests drive TTL expiry deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func newTestCache(ttl time.Duration) (*Cache, *fakeClock) {
+	clk := &fakeClock{t: time.Date(2016, 11, 14, 8, 0, 0, 0, time.UTC)}
+	return New(Config{Shards: 8, TTL: ttl, Now: clk.now}), clk
+}
+
+func TestPutGetHitMiss(t *testing.T) {
+	c, _ := newTestCache(time.Minute)
+	k := key("lilly", 1, 2)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	c.Put(k, "plan-a")
+	v, ok := c.Get(k)
+	if !ok || v.(string) != "plan-a" {
+		t.Fatalf("get = %v %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRate != 0.5 {
+		t.Fatalf("hit rate = %v", st.HitRate)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c, clk := newTestCache(time.Minute)
+	k := key("lilly", 0, 0)
+	c.Put(k, 1)
+	clk.advance(59 * time.Second)
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("entry expired early")
+	}
+	clk.advance(2 * time.Second)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("expired entry served")
+	}
+	st := c.Stats()
+	if st.Stale != 1 || st.Evictions != 1 || st.Entries != 0 {
+		t.Fatalf("stats after expiry = %+v", st)
+	}
+}
+
+func TestEpochInvalidation(t *testing.T) {
+	c, _ := newTestCache(time.Hour)
+	for i := 0; i < 10; i++ {
+		c.Put(key("u", i, 0), i)
+	}
+	c.InvalidateAll()
+	if _, ok := c.Get(key("u", 3, 0)); ok {
+		t.Fatal("epoch-stale entry served")
+	}
+	// A fresh Put after the bump is servable.
+	c.Put(key("u", 3, 0), "new")
+	if v, ok := c.Get(key("u", 3, 0)); !ok || v.(string) != "new" {
+		t.Fatalf("post-bump get = %v %v", v, ok)
+	}
+	// Sweep clears the rest of the stale generation.
+	if removed := c.Sweep(); removed != 9 {
+		t.Fatalf("sweep removed %d, want 9", removed)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestInvalidateUser(t *testing.T) {
+	c, _ := newTestCache(time.Hour)
+	for i := 0; i < 5; i++ {
+		c.Put(key("lilly", i, 0), i)
+		c.Put(key("greg", i, 0), i)
+	}
+	if n := c.InvalidateUser("lilly"); n != 5 {
+		t.Fatalf("invalidated %d, want 5", n)
+	}
+	if _, ok := c.Get(key("lilly", 0, 0)); ok {
+		t.Fatal("invalidated user's entry served")
+	}
+	if _, ok := c.Get(key("greg", 0, 0)); !ok {
+		t.Fatal("other user's entry lost")
+	}
+	if n := c.InvalidateUser("nobody"); n != 0 {
+		t.Fatalf("phantom invalidations: %d", n)
+	}
+}
+
+func TestGetIfRejectEvicts(t *testing.T) {
+	c, _ := newTestCache(time.Hour)
+	k := key("u", 1, 1)
+	c.Put(k, 100)
+	v, ok := c.GetIf(k, func(v any) bool { return v.(int) > 200 })
+	if ok {
+		t.Fatalf("unusable entry served: %v", v)
+	}
+	if c.Len() != 0 {
+		t.Fatal("rejected entry not evicted")
+	}
+	st := c.Stats()
+	if st.Stale != 1 || st.Hits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Usable entries pass through.
+	c.Put(k, 300)
+	if _, ok := c.GetIf(k, func(v any) bool { return v.(int) > 200 }); !ok {
+		t.Fatal("usable entry rejected")
+	}
+}
+
+func TestMaxPerShardEviction(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c := New(Config{Shards: 1, TTL: time.Hour, MaxPerShard: 3, Now: clk.now})
+	for i := 0; i < 3; i++ {
+		c.Put(key("u", i, 0), i)
+		clk.advance(time.Second)
+	}
+	c.Put(key("u", 99, 0), 99) // over capacity → oldest (dest 0) evicted
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if _, ok := c.Get(key("u", 0, 0)); ok {
+		t.Fatal("oldest entry survived capacity eviction")
+	}
+	if _, ok := c.Get(key("u", 99, 0)); !ok {
+		t.Fatal("new entry missing")
+	}
+	// Replacing an existing key does not evict.
+	c.Put(key("u", 99, 0), "again")
+	if c.Len() != 3 {
+		t.Fatalf("len after replace = %d", c.Len())
+	}
+}
+
+func TestContains(t *testing.T) {
+	c, clk := newTestCache(time.Minute)
+	k := key("u", 1, 0)
+	if c.Contains(k) {
+		t.Fatal("contains on empty cache")
+	}
+	c.Put(k, 1)
+	if !c.Contains(k) {
+		t.Fatal("fresh entry not found")
+	}
+	clk.advance(2 * time.Minute)
+	if c.Contains(k) {
+		t.Fatal("expired entry reported present")
+	}
+	// Contains must not move the hit/miss counters.
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("contains moved counters: %+v", st)
+	}
+}
+
+// TestPutVersionedRaces pins the invalidation-race contract: a value
+// computed from inputs sampled before an invalidation must land stale,
+// even though the Put itself happens after the invalidation — for both
+// the global epoch (InvalidateAll) and the per-user generation
+// (InvalidateUser).
+func TestPutVersionedRaces(t *testing.T) {
+	c, _ := newTestCache(time.Hour)
+	k := key("u", 1, 1)
+
+	// Global: snapshot, then InvalidateAll races the computation.
+	ver := c.Snapshot("u")
+	c.InvalidateAll()
+	c.PutVersioned(k, "stale-plan", ver)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("pre-InvalidateAll value served as fresh")
+	}
+	if c.Contains(k) {
+		t.Fatal("pre-InvalidateAll value reported fresh")
+	}
+
+	// Per-user: snapshot, then InvalidateUser races the computation.
+	ver = c.Snapshot("u")
+	c.InvalidateUser("u")
+	c.PutVersioned(k, "stale-plan", ver)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("pre-InvalidateUser value served as fresh")
+	}
+	// Another user's generation is untouched by u's invalidation.
+	other := key("v", 1, 1)
+	verOther := c.Snapshot("v")
+	c.InvalidateUser("u")
+	c.PutVersioned(other, "fresh-plan", verOther)
+	if _, ok := c.Get(other); !ok {
+		t.Fatal("other user's value lost to u's invalidation")
+	}
+
+	// A put stamped with the current snapshot is fresh.
+	c.PutVersioned(k, "fresh-plan", c.Snapshot("u"))
+	if v, ok := c.Get(k); !ok || v.(string) != "fresh-plan" {
+		t.Fatalf("current-version put unusable: %v %v", v, ok)
+	}
+	// And Sweep removes version-stale entries eagerly.
+	ver = c.Snapshot("u")
+	c.InvalidateUser("u")
+	c.PutVersioned(k, "stale-plan", ver)
+	if removed := c.Sweep(); removed != 1 {
+		t.Fatalf("sweep removed %d, want 1", removed)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := New(Config{})
+	if got := c.Stats().Shards; got != DefaultShards {
+		t.Fatalf("shards = %d", got)
+	}
+	if c.TTL() != DefaultTTL {
+		t.Fatalf("ttl = %v", c.TTL())
+	}
+}
+
+// TestConcurrent hammers the cache from many goroutines mixing every
+// operation; run with -race. Invariant checks are minimal on purpose —
+// the point is that shard locking and atomic counters keep the structure
+// coherent under contention.
+func TestConcurrent(t *testing.T) {
+	c := New(Config{Shards: 32, TTL: time.Hour})
+	const (
+		goroutines = 16
+		opsEach    = 2000
+		users      = 8
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				k := key(fmt.Sprintf("user-%d", (g+i)%users), i%16, i%12)
+				switch i % 7 {
+				case 0:
+					c.Put(k, i)
+				case 1:
+					c.InvalidateUser(k.User)
+				case 2:
+					c.Contains(k)
+				case 3:
+					c.GetIf(k, func(v any) bool { return v.(int)%2 == 0 })
+				case 4:
+					if i%500 == 0 {
+						c.InvalidateAll()
+					}
+					c.Sweep()
+				default:
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+	if st.Entries != c.Len() {
+		t.Fatalf("entries snapshot inconsistent: %d vs %d", st.Entries, c.Len())
+	}
+}

@@ -49,6 +49,10 @@ const (
 	numBuckets    = bucketsPerDay * 2 // ×2: weekday / weekend
 )
 
+// BucketDuration is the wall-clock length of one time-of-day bucket —
+// the natural stride for warming plans one or more buckets ahead.
+const BucketDuration = bucketHours * time.Hour
+
 // BucketOf returns the TimeBucket for an instant.
 func BucketOf(t time.Time) TimeBucket {
 	b := ((t.Hour() + 22) % 24) / bucketHours // shift so 02-06,06-10,...
@@ -116,6 +120,18 @@ func BuildModel(places []trajectory.StayPoint, trips []TripRecord, matchRadiusMe
 
 // Places returns the model's staying points.
 func (m *Model) Places() []trajectory.StayPoint { return m.places }
+
+// Origins returns every place with at least one outgoing transition,
+// sorted. The precompute scheduler enumerates these to know which trips
+// are worth warming for a user.
+func (m *Model) Origins() []PlaceID {
+	out := make([]PlaceID, 0, len(m.transitions))
+	for p := range m.transitions {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // MatchPlace returns the staying point containing p, or NoPlace.
 func (m *Model) MatchPlace(p geo.Point) PlaceID {

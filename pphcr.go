@@ -25,6 +25,7 @@ package pphcr
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -34,6 +35,8 @@ import (
 	"pphcr/internal/core"
 	"pphcr/internal/distraction"
 	"pphcr/internal/feedback"
+	"pphcr/internal/geo"
+	"pphcr/internal/plancache"
 	"pphcr/internal/predict"
 	"pphcr/internal/profile"
 	"pphcr/internal/radiodns"
@@ -59,6 +62,12 @@ type Config struct {
 	// CandidateWindow bounds how far back the recommender looks for
 	// candidate clips. Default 72h.
 	CandidateWindow time.Duration
+	// PlanCacheShards is the shard count of the warm-plan cache.
+	// Default plancache.DefaultShards (32).
+	PlanCacheShards int
+	// PlanTTL is how long a precomputed trip plan may be served before it
+	// is considered stale. Default plancache.DefaultTTL (10 minutes).
+	PlanTTL time.Duration
 }
 
 // System is the PPHCR content server.
@@ -71,6 +80,10 @@ type System struct {
 	Broker    *broker.Broker
 	Scorer    *recommend.Scorer
 	Planner   *core.Planner
+	// PlanCache holds precomputed trip plans keyed by (user, predicted
+	// destination, time bucket); PlanTrip serves from it when the live
+	// prediction matches a warm entry.
+	PlanCache *plancache.Cache
 
 	pipeline        *content.Pipeline
 	candidateWindow time.Duration
@@ -117,6 +130,7 @@ func New(cfg Config) (*System, error) {
 		Broker:    broker.New(),
 		Scorer:    scorer,
 		Planner:   core.NewPlanner(scorer),
+		PlanCache: plancache.New(plancache.Config{Shards: cfg.PlanCacheShards, TTL: cfg.PlanTTL}),
 		pipeline: &content.Pipeline{
 			Recognizer: recognizer,
 			Classifier: &nb,
@@ -145,6 +159,9 @@ func (s *System) IngestPodcast(raw content.RawPodcast) (*content.Item, error) {
 	if err != nil {
 		return nil, err
 	}
+	// New content changes every user's candidate set: mark all warm plans
+	// stale (O(1) epoch bump); the precompute scheduler re-warms them.
+	s.PlanCache.InvalidateAll()
 	s.Broker.Publish("content.ingested."+it.TopCategory(), []byte(it.ID))
 	return it, nil
 }
@@ -163,6 +180,9 @@ func (s *System) AddFeedback(e feedback.Event) error {
 	if err := s.Feedback.Append(e); err != nil {
 		return err
 	}
+	// Feedback shifts the user's preference vector, so their warm plans
+	// no longer reflect the ranking inputs.
+	s.PlanCache.InvalidateUser(e.UserID)
 	s.Broker.Publish("feedback."+e.Kind.String(), []byte(e.UserID))
 	return nil
 }
@@ -177,6 +197,9 @@ func (s *System) CompactTracking(userID string) (*tracking.CompactModel, error) 
 	s.mu.Lock()
 	s.mobility[userID] = cm
 	s.mu.Unlock()
+	// Re-compaction renumbers the user's staying points, so cached keys
+	// (which embed PlaceIDs) must not survive it.
+	s.PlanCache.InvalidateUser(userID)
 	s.Broker.Publish("tracking.compacted", []byte(userID))
 	return cm, nil
 }
@@ -187,6 +210,19 @@ func (s *System) MobilityModel(userID string) (*tracking.CompactModel, bool) {
 	defer s.mu.RUnlock()
 	cm, ok := s.mobility[userID]
 	return cm, ok
+}
+
+// MobilityUsers lists the users with a compacted mobility model — the
+// population the precompute scheduler can warm plans for.
+func (s *System) MobilityUsers() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.mobility))
+	for u := range s.mobility {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Preferences returns the user's current category preference vector:
@@ -273,7 +309,17 @@ type TripPlan struct {
 	Plan core.Plan
 	// Context is the recommendation context derived from the prediction.
 	Context recommend.Context
+	// Source records how the plan was produced: "cold" when the full
+	// pipeline ran for this request, "warm" when a precomputed plan was
+	// served from the cache.
+	Source string
 }
+
+// Plan sources.
+const (
+	PlanSourceCold = "cold"
+	PlanSourceWarm = "warm"
+)
 
 // PlanTrip runs the end-to-end proactive flow for a user who started
 // driving: predict the trip from the partial trace and the compacted
@@ -300,11 +346,14 @@ func (s *System) PlanTrip(userID string, partial trajectory.Trace, now time.Time
 		DeltaT:   pred.DeltaT,
 		Driving:  true,
 	}
+	// Phase 1 always runs live: whether this is a moment to recommend at
+	// all depends on the current ΔT, confidence and distraction, so a
+	// warm plan must never override a live decline.
 	var timeline distraction.Timeline
 	if tl != nil {
 		timeline = *tl
 	}
-	tp := &TripPlan{Prediction: pred, Context: ctx}
+	tp := &TripPlan{Prediction: pred, Context: ctx, Source: PlanSourceCold}
 	tp.Proactive, tp.Reason = s.Planner.ShouldRecommend(core.Situation{
 		Ctx:            ctx,
 		TripConfidence: pred.Confidence,
@@ -314,14 +363,139 @@ func (s *System) PlanTrip(userID string, partial trajectory.Trace, now time.Time
 		s.rememberPlan(userID, tp)
 		return tp, nil
 	}
+	// Fast path: a plan precomputed for this (user, destination, time
+	// bucket) is served as-is when it still fits the live ΔT and was
+	// computed near the request in *logical* time — callers drive
+	// PlanTrip with simulated clocks (experiments, pphcr-sim), so the
+	// wall-clock TTL alone would happily serve a plan from a previous
+	// simulated day. Requests carrying a distraction timeline bypass the
+	// cache entirely — warm plans are scheduled without transition
+	// constraints.
+	key := plancache.Key{User: userID, Dest: pred.Dest, Bucket: predict.BucketOf(now)}
+	ver := s.PlanCache.Snapshot(userID)
+	if tl == nil {
+		if v, ok := s.PlanCache.GetIf(key, func(v any) bool {
+			cached := v.(*TripPlan)
+			age := now.Sub(cached.Context.Now)
+			if age < 0 {
+				age = -age
+			}
+			return age <= s.PlanCache.TTL() && planFits(cached.Plan, pred.DeltaT)
+		}); ok {
+			cached := v.(*TripPlan)
+			warm := &TripPlan{
+				Prediction: pred,
+				Context:    ctx,
+				Proactive:  true,
+				Plan:       cached.Plan,
+				Source:     PlanSourceWarm,
+			}
+			s.rememberPlan(userID, warm)
+			s.Broker.Publish("recommendations.planned", []byte(userID))
+			return warm, nil
+		}
+	}
 	tp.Plan = s.Planner.Plan(core.Request{
 		Prefs:       s.Preferences(userID, now),
 		Candidates:  s.Candidates(now),
 		Ctx:         ctx,
 		Distraction: tl,
 	})
+	if tl == nil && len(tp.Plan.Items) > 0 {
+		// The version was captured before ranking inputs were sampled, so
+		// a concurrent invalidation (global or per-user) marks this entry
+		// stale rather than letting it masquerade as fresh.
+		s.PlanCache.PutVersioned(key, tp, ver)
+	}
 	s.rememberPlan(userID, tp)
 	s.Broker.Publish("recommendations.planned", []byte(userID))
+	return tp, nil
+}
+
+// planFits reports whether every scheduled item still completes within
+// the live ΔT — the usability test for serving a cached plan.
+func planFits(p core.Plan, deltaT time.Duration) bool {
+	for _, it := range p.Items {
+		if it.StartOffset+it.Scored.Item.Duration > deltaT {
+			return false
+		}
+	}
+	return true
+}
+
+// WarmPlan precomputes and caches the proactive plan for an anticipated
+// trip: user leaving `from` for `dest` around time `at`, with `prob` as
+// the Markov prior standing in for the live trip confidence. The context
+// is reconstructed from the mobility model (expected route, median travel
+// time, implied speed), which is exactly the information PlanTrip would
+// derive at trip start. The plan is cached under (user, dest, BucketOf(at))
+// when phase 1 approves and at least one item is scheduled; the returned
+// TripPlan reports the phase-1 decision either way.
+func (s *System) WarmPlan(userID string, from, dest predict.PlaceID, prob float64, at time.Time) (*TripPlan, error) {
+	ver := s.PlanCache.Snapshot(userID)
+	cm, ok := s.MobilityModel(userID)
+	if !ok {
+		return nil, fmt.Errorf("pphcr: no mobility model for %q (run CompactTracking)", userID)
+	}
+	m := cm.Mobility
+	median, mad, ok := m.TravelTime(from, dest)
+	if !ok {
+		return nil, fmt.Errorf("pphcr: no travel history %d→%d for %q", from, dest, userID)
+	}
+	route, _ := m.ExpectedRoute(from, dest)
+	var pos geo.Point
+	switch {
+	case len(route) > 0:
+		pos = route[0]
+	case int(from) >= 0 && int(from) < len(m.Places()):
+		pos = m.Places()[from].Center
+	}
+	var speed float64
+	if len(route) >= 2 && median > 0 {
+		speed = route.Length() / median.Seconds()
+	}
+	// Plan to a robust lower bound of the travel time, not the median:
+	// a live request arrives a little after trip start with slightly less
+	// ΔT remaining, and a plan filled to the median would fail its fit
+	// check exactly when it is wanted most. median−MAD (clamped to half
+	// the median) absorbs that slack.
+	deltaT := median - mad
+	if deltaT < median/2 {
+		deltaT = median / 2
+	}
+	ctx := recommend.Context{
+		Now:      at,
+		Position: pos,
+		Route:    route,
+		SpeedMS:  speed,
+		DeltaT:   deltaT,
+		Driving:  true,
+	}
+	tp := &TripPlan{
+		Prediction: predict.Prediction{
+			From: from, Dest: dest,
+			Confidence: prob,
+			DeltaT:     median, DeltaTMAD: mad,
+			Route: route,
+		},
+		Context: ctx,
+		Source:  PlanSourceWarm,
+	}
+	tp.Proactive, tp.Reason = s.Planner.ShouldRecommend(core.Situation{
+		Ctx:            ctx,
+		TripConfidence: prob,
+	})
+	if !tp.Proactive {
+		return tp, nil
+	}
+	tp.Plan = s.Planner.Plan(core.Request{
+		Prefs:      s.Preferences(userID, at),
+		Candidates: s.Candidates(at),
+		Ctx:        ctx,
+	})
+	if len(tp.Plan.Items) > 0 {
+		s.PlanCache.PutVersioned(plancache.Key{User: userID, Dest: dest, Bucket: predict.BucketOf(at)}, tp, ver)
+	}
 	return tp, nil
 }
 
