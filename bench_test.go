@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"pphcr"
 	"pphcr/internal/experiments"
+	"pphcr/internal/feedback"
 	"pphcr/internal/plancache"
 	"pphcr/internal/predict"
 	"pphcr/internal/synth"
@@ -204,6 +206,46 @@ func BenchmarkPlanCacheConcurrent(b *testing.B) {
 				c.Get(k)
 			}
 			i++
+		}
+	})
+}
+
+// ---- Sharded per-user state benchmarks --------------------------------
+//
+// BenchmarkConcurrentUserState hammers the striped per-user state and
+// the incremental preference index with a parallel mixed workload across
+// 256 users (3/4 preference reads and plan/injection lookups, 1/4
+// feedback appends). Under the seed's single global mutex every pair of
+// operations serialized; with striping plus the O(categories) index the
+// throughput should scale with cores.
+func BenchmarkConcurrentUserState(b *testing.B) {
+	env := getPlanEnv(b)
+	sys := env.sys
+	users := make([]string, 256)
+	for i := range users {
+		users[i] = fmt.Sprintf("bench-user-%03d", i)
+	}
+	cats := map[string]float64{"food": 0.6, "music": 0.4}
+	now := env.now
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(seq.Add(1))
+			u := users[i%len(users)]
+			switch i % 4 {
+			case 0:
+				_ = sys.AddFeedback(feedback.Event{
+					UserID: u, ItemID: "it", Kind: feedback.ImplicitListen,
+					At: now.Add(time.Duration(i) * time.Millisecond), Categories: cats,
+				})
+			case 1:
+				sys.Preferences(u, now.Add(time.Duration(i)*time.Millisecond))
+			case 2:
+				sys.LastPlan(u)
+			default:
+				sys.PendingInjections(u)
+			}
 		}
 	})
 }

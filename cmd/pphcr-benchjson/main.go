@@ -1,0 +1,109 @@
+// Command pphcr-benchjson converts `go test -bench` output on stdin into
+// a compact JSON document on stdout, so CI can archive a machine-readable
+// performance record per PR (BENCH_pr2.json and successors) and the
+// repo's perf trajectory accumulates run over run.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | pphcr-benchjson > BENCH.json
+//
+// Alongside the full benchmark list, the document pulls out the
+// headline numbers this repo tracks: cold vs warm plan latency and the
+// replay vs incremental preference read.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Pkg      string  `json:"pkg"`
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   float64 `json:"b_per_op,omitempty"`
+	AllocsOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Output is the JSON document shape.
+type Output struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Highlights maps headline metric names to ns/op.
+	Highlights map[string]float64 `json:"highlights"`
+}
+
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+	bytesPerOp = regexp.MustCompile(`([\d.]+) B/op`)
+	allocsOp   = regexp.MustCompile(`([\d.]+) allocs/op`)
+)
+
+// highlightNames maps benchmark base names to the headline keys the
+// perf trajectory tracks.
+var highlightNames = map[string]string{
+	"BenchmarkPlanTripCold":           "plan_cold_ns",
+	"BenchmarkPlanTripWarm":           "plan_warm_ns",
+	"BenchmarkPreferencesReplay":      "preferences_replay_ns",
+	"BenchmarkPreferencesIncremental": "preferences_incremental_ns",
+	"BenchmarkConcurrentUserState":    "concurrent_user_state_ns",
+	"BenchmarkPlanCacheConcurrent":    "plan_cache_concurrent_ns",
+	"BenchmarkAppendIncremental":      "feedback_append_ns",
+}
+
+func main() {
+	out := Output{Highlights: map[string]float64{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "pkg: ") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		b := Benchmark{Pkg: pkg, Name: m[1], Iters: iters, NsPerOp: ns}
+		if bm := bytesPerOp.FindStringSubmatch(m[4]); bm != nil {
+			b.BPerOp, _ = strconv.ParseFloat(bm[1], 64)
+		}
+		if am := allocsOp.FindStringSubmatch(m[4]); am != nil {
+			b.AllocsOp, _ = strconv.ParseFloat(am[1], 64)
+		}
+		out.Benchmarks = append(out.Benchmarks, b)
+		if key, ok := highlightNames[b.Name]; ok {
+			out.Highlights[key] = b.NsPerOp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "pphcr-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if replay, ok := out.Highlights["preferences_replay_ns"]; ok {
+		if inc, ok := out.Highlights["preferences_incremental_ns"]; ok && inc > 0 {
+			out.Highlights["preferences_speedup_x"] = replay / inc
+		}
+	}
+	if cold, ok := out.Highlights["plan_cold_ns"]; ok {
+		if warm, ok := out.Highlights["plan_warm_ns"]; ok && warm > 0 {
+			out.Highlights["plan_speedup_x"] = cold / warm
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "pphcr-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

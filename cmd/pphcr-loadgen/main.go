@@ -1,0 +1,371 @@
+// Command pphcr-loadgen drives a PPHCR System with a mixed
+// register/ingest/fix/feedback/plan workload over thousands of simulated
+// users and reports throughput and latency percentiles per operation —
+// the end-to-end evidence that the incremental preference index and the
+// striped per-user state hold up under the ROADMAP's traffic shape.
+//
+// Usage:
+//
+//	pphcr-loadgen -users 2000 -ops 20000 -workers 8
+//
+// The tool builds a synthetic world, ingests its corpus, registers most
+// personas, feeds a few days of commutes so every driver has a mobility
+// model, and then fires the mixed workload from a worker pool. The
+// remaining personas and a held-back slice of the corpus are registered
+// and ingested *during* the run, so the write paths see load too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pphcr"
+	"pphcr/internal/feedback"
+	"pphcr/internal/recommend"
+	"pphcr/internal/synth"
+	"pphcr/internal/trajectory"
+)
+
+// op kinds, in report order.
+const (
+	opPlan = iota
+	opFeedback
+	opFix
+	opRecommend
+	opPrefs
+	opCompactTrack
+	opCompactFeedback
+	opRegister
+	opIngest
+	numOps
+)
+
+var opNames = [numOps]string{
+	"plan", "feedback", "fix", "recommend", "prefs",
+	"compact-track", "compact-feedback", "register", "ingest",
+}
+
+// sample is one measured operation.
+type sample struct {
+	op  int
+	dur time.Duration
+}
+
+// driver is a prepared user with a mobility model and a partial trace to
+// plan against.
+type driver struct {
+	user    string
+	partial trajectory.Trace
+	planAt  time.Time
+	// fixClock hands out monotonically increasing fix timestamps (unix
+	// seconds) for the live-tracking op.
+	fixClock atomic.Int64
+	fixPoint trajectory.Fix
+}
+
+func main() {
+	var (
+		users      = flag.Int("users", 2000, "simulated personas")
+		ops        = flag.Int("ops", 20000, "total operations in the timed phase")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent workers")
+		seed       = flag.Int64("seed", 2017, "world seed")
+		days       = flag.Int("days", 3, "days of synthetic content")
+		podcasts   = flag.Int("podcasts-per-day", 30, "corpus density")
+		traceDays  = flag.Int("trace-days", 2, "commute days fed per driver before compaction")
+		userShards = flag.Int("user-shards", pphcr.DefaultUserShards, "per-user state shard count")
+		fbHorizon  = flag.Duration("feedback-horizon", 7*24*time.Hour, "compaction horizon for the compact-feedback op")
+	)
+	flag.Parse()
+
+	log.Printf("generating world (seed=%d users=%d days=%d)...", *seed, *users, *days)
+	w, err := synth.GenerateWorld(synth.Params{
+		Seed: *seed, Days: *days, Users: *users, Stations: 4,
+		PodcastsPerDay: *podcasts, TrainingDocsPerCategory: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := pphcr.New(pphcr.Config{
+		TrainingDocs: w.Training,
+		Vocabulary:   w.FlatVocab,
+		Seed:         *seed,
+		UserShards:   *userShards,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Hold back a slice of the corpus for run-phase ingestion.
+	reserveN := len(w.Corpus) / 10
+	if reserveN > 200 {
+		reserveN = 200
+	}
+	corpus, reservedPodcasts := w.Corpus[:len(w.Corpus)-reserveN], w.Corpus[len(w.Corpus)-reserveN:]
+	start := time.Now()
+	for _, raw := range corpus {
+		if _, err := sys.IngestPodcast(raw); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("ingested %d podcasts in %v (%d reserved for the run)",
+		len(corpus), time.Since(start).Round(time.Millisecond), reserveN)
+
+	// Register 95% of personas now; the rest register during the run.
+	cut := len(w.Personas) * 95 / 100
+	registered, reservedPersonas := w.Personas[:cut], w.Personas[cut:]
+	for _, p := range registered {
+		if err := sys.RegisterUser(p.Profile); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	log.Printf("preparing mobility models for %d drivers (%d commute days each)...", len(registered), *traceDays)
+	start = time.Now()
+	worldEnd := w.Params.StartDate.AddDate(0, 0, w.Params.Days)
+	var drivers []*driver
+	for _, p := range registered {
+		d, err := prepareDriver(sys, w, p, *traceDays)
+		if err != nil {
+			continue // sparse persona: skip, it still serves feedback ops
+		}
+		drivers = append(drivers, d)
+	}
+	if len(drivers) == 0 {
+		log.Fatal("no driver could be prepared")
+	}
+	log.Printf("prepared %d drivers in %v", len(drivers), time.Since(start).Round(time.Millisecond))
+
+	// Category material for feedback events, sampled from the corpus.
+	items := sys.Candidates(worldEnd)
+	if len(items) == 0 {
+		items = sys.Repo.All()
+	}
+
+	// Reads happen strictly after every feedback timestamp so preference
+	// reads stay on the incremental index (no replay fallback).
+	readAt := worldEnd.Add(time.Hour)
+
+	log.Printf("running %d ops over %d workers...", *ops, *workers)
+	var (
+		next        atomic.Int64
+		ingestNext  atomic.Int64
+		regNext     atomic.Int64
+		rejected    atomic.Int64
+		wg          sync.WaitGroup
+		all         = make([][]sample, *workers)
+		timedStart  = time.Now()
+		usersByName = make([]string, len(registered))
+	)
+	for i, p := range registered {
+		usersByName[i] = p.Profile.UserID
+	}
+	for wk := 0; wk < *workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(wk)*7919))
+			samples := make([]sample, 0, *ops / *workers + 8)
+			for {
+				if next.Add(1) > int64(*ops) {
+					break
+				}
+				d := drivers[rng.Intn(len(drivers))]
+				u := usersByName[rng.Intn(len(usersByName))]
+				op := pickOp(rng.Float64())
+				t0 := time.Now()
+				switch op {
+				case opPlan:
+					if _, err := sys.PlanTrip(d.user, d.partial, d.planAt, nil); err != nil {
+						rejected.Add(1)
+					}
+				case opFeedback:
+					it := items[rng.Intn(len(items))]
+					kinds := []feedback.Kind{feedback.ImplicitListen, feedback.Skip, feedback.Like, feedback.Dislike}
+					err := sys.AddFeedback(feedback.Event{
+						UserID:     u,
+						ItemID:     it.ID,
+						Kind:       kinds[rng.Intn(len(kinds))],
+						At:         worldEnd.Add(-time.Duration(rng.Intn(3600)) * time.Second),
+						Categories: it.Categories,
+					})
+					if err != nil {
+						rejected.Add(1)
+					}
+				case opFix:
+					at := d.fixClock.Add(1)
+					fix := trajectory.Fix{Point: d.fixPoint.Point, Time: time.Unix(at, 0).UTC()}
+					if err := sys.RecordFix(d.user, fix); err != nil {
+						rejected.Add(1)
+					}
+				case opRecommend:
+					sys.Recommend(u, recommend.Context{Now: readAt}, 5)
+				case opPrefs:
+					sys.Preferences(u, readAt)
+				case opCompactTrack:
+					if _, err := sys.CompactTracking(d.user); err != nil {
+						rejected.Add(1)
+					}
+				case opCompactFeedback:
+					sys.CompactFeedback(u, worldEnd.Add(time.Hour), *fbHorizon)
+				case opRegister:
+					if i := regNext.Add(1) - 1; int(i) < len(reservedPersonas) {
+						if err := sys.RegisterUser(reservedPersonas[i].Profile); err != nil {
+							rejected.Add(1)
+						}
+					} else {
+						sys.Preferences(u, readAt)
+						op = opPrefs
+					}
+				case opIngest:
+					if i := ingestNext.Add(1) - 1; int(i) < len(reservedPodcasts) {
+						if _, err := sys.IngestPodcast(reservedPodcasts[i]); err != nil {
+							rejected.Add(1)
+						}
+					} else {
+						sys.Preferences(u, readAt)
+						op = opPrefs
+					}
+				}
+				samples = append(samples, sample{op: op, dur: time.Since(t0)})
+			}
+			all[wk] = samples
+		}(wk)
+	}
+	wg.Wait()
+	elapsed := time.Since(timedStart)
+
+	report(all, elapsed, rejected.Load())
+	lock := sys.LockStats()
+	fb := sys.Feedback.Stats()
+	cache := sys.PlanCache.Stats()
+	fmt.Printf("\nlocks: shards=%d ops=%d contended=%d (%.3f%%)\n",
+		lock.Shards, lock.Ops, lock.Contended, 100*pct(lock.Contended, lock.Ops))
+	fmt.Printf("feedback index: users=%d live=%d compacted=%d index_reads=%d replay_reads=%d\n",
+		fb.Users, fb.LiveEvents, fb.CompactedEvents, fb.IndexReads, fb.ReplayReads)
+	fmt.Printf("plan cache: hits=%d misses=%d entries=%d\n", cache.Hits, cache.Misses, cache.Entries)
+}
+
+// pickOp maps a uniform draw to an operation kind (the workload mix).
+func pickOp(r float64) int {
+	switch {
+	case r < 0.50:
+		return opPlan
+	case r < 0.70:
+		return opFeedback
+	case r < 0.82:
+		return opFix
+	case r < 0.88:
+		return opRecommend
+	case r < 0.93:
+		return opPrefs
+	case r < 0.94:
+		return opCompactTrack
+	case r < 0.96:
+		return opCompactFeedback
+	case r < 0.98:
+		return opRegister
+	default:
+		return opIngest
+	}
+}
+
+// prepareDriver feeds commute days and compacts, returning the driver's
+// planning material.
+func prepareDriver(sys *pphcr.System, w *synth.World, p *synth.Persona, traceDays int) (*driver, error) {
+	user := p.Profile.UserID
+	fed := 0
+	for d := 0; fed < traceDays && d < w.Params.Days+7; d++ {
+		day := w.Params.StartDate.AddDate(0, 0, d)
+		if wd := day.Weekday(); wd == time.Saturday || wd == time.Sunday {
+			continue
+		}
+		for _, morning := range []bool{true, false} {
+			trace, _, err := w.CommuteTrace(p, day, morning)
+			if err != nil {
+				return nil, err
+			}
+			for _, fix := range trace {
+				if err := sys.RecordFix(user, fix); err != nil {
+					return nil, err
+				}
+			}
+		}
+		fed++
+	}
+	if _, err := sys.CompactTracking(user); err != nil {
+		return nil, err
+	}
+	// Plan against the first weekday after the content window so the
+	// candidate set (72h lookback) is still populated at plan time.
+	day := w.Params.StartDate.AddDate(0, 0, w.Params.Days)
+	for day.Weekday() == time.Saturday || day.Weekday() == time.Sunday {
+		day = day.AddDate(0, 0, 1)
+	}
+	full, _, err := w.CommuteTrace(p, day, true)
+	if err != nil {
+		return nil, err
+	}
+	var partial trajectory.Trace
+	for _, fix := range full {
+		if fix.Time.Sub(full[0].Time) > 3*time.Minute {
+			break
+		}
+		partial = append(partial, fix)
+	}
+	if len(partial) == 0 {
+		return nil, fmt.Errorf("empty partial trace for %s", user)
+	}
+	d := &driver{
+		user:     user,
+		partial:  partial,
+		planAt:   partial[len(partial)-1].Time,
+		fixPoint: partial[len(partial)-1],
+	}
+	d.fixClock.Store(d.planAt.Unix() + 3600)
+	return d, nil
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// report prints throughput and per-op latency percentiles.
+func report(all [][]sample, elapsed time.Duration, rejected int64) {
+	byOp := make([][]time.Duration, numOps)
+	total := 0
+	for _, samples := range all {
+		for _, s := range samples {
+			byOp[s.op] = append(byOp[s.op], s.dur)
+			total++
+		}
+	}
+	fmt.Printf("\n%d ops in %v — %.0f ops/sec (%d rejected)\n\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), rejected)
+	fmt.Printf("%-18s %8s %12s %12s %12s %12s\n", "op", "count", "p50", "p99", "max", "mean")
+	for op, durs := range byOp {
+		if len(durs) == 0 {
+			continue
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		var sum time.Duration
+		for _, d := range durs {
+			sum += d
+		}
+		fmt.Printf("%-18s %8d %12v %12v %12v %12v\n",
+			opNames[op], len(durs),
+			durs[len(durs)/2].Round(time.Microsecond),
+			durs[len(durs)*99/100].Round(time.Microsecond),
+			durs[len(durs)-1].Round(time.Microsecond),
+			(sum / time.Duration(len(durs))).Round(time.Microsecond))
+	}
+}

@@ -43,6 +43,9 @@ func main() {
 		warmWorkers = flag.Int("warm-workers", 4, "plan-warming worker pool size (0 disables the warmer)")
 		planTTL     = flag.Duration("plan-ttl", 10*time.Minute, "warm plan time-to-live")
 		cacheShards = flag.Int("cache-shards", 32, "plan cache shard count")
+		userShards  = flag.Int("user-shards", pphcr.DefaultUserShards, "per-user state shard count")
+		fbEvery     = flag.Int("feedback-compact-every", 512, "feedback events per user between compactions (0 disables)")
+		fbHorizon   = flag.Duration("feedback-horizon", 30*24*time.Hour, "feedback history kept live; older events fold into the baseline")
 	)
 	flag.Parse()
 
@@ -57,6 +60,7 @@ func main() {
 		Seed:            *seed,
 		PlanCacheShards: *cacheShards,
 		PlanTTL:         *planTTL,
+		UserShards:      *userShards,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -125,6 +129,21 @@ func main() {
 	worldEnd := w.Params.StartDate.AddDate(0, 0, w.Params.Days)
 	bootReal := time.Now()
 	worldClock := func() time.Time { return worldEnd.Add(time.Since(bootReal)) }
+
+	// Live feedback sent to /api/feedback is periodically folded into the
+	// per-user baseline so the log stays bounded, mirroring the tracking
+	// compactor above (preference reads come from the incremental index
+	// and are unaffected).
+	if *fbEvery > 0 {
+		fbc, err := service.NewFeedbackCompactor(sys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fbc.EventsPerCompaction = *fbEvery
+		fbc.Horizon = *fbHorizon
+		fbc.Now = worldClock
+		go fbc.Run(stop)
+	}
 
 	api := httpapi.NewServer(sys)
 	var warmer *service.Warmer

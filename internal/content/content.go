@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pphcr/internal/geo"
+	"pphcr/internal/spatial"
 )
 
 // Categories is the fixed editorial taxonomy. The paper specifies "a set
@@ -110,19 +111,24 @@ func (it *Item) SizeBytes() int64 {
 }
 
 // Repository is the thread-safe content store with the secondary indexes
-// the recommender needs: by ID, by top category and by publish time.
+// the recommender needs: by ID, by top category, by publish time, and —
+// for geographically scoped items — an R-tree over their relevance
+// discs, so GeoItems answers point queries without scanning the table.
 type Repository struct {
-	mu     sync.RWMutex
-	items  map[string]*Item
-	byCat  map[string][]string // top category -> item IDs
-	sorted []string            // IDs ordered by Published asc
+	mu      sync.RWMutex
+	items   map[string]*Item
+	byCat   map[string][]string // top category -> item IDs
+	sorted  []string            // IDs ordered by Published asc
+	geoTree *spatial.RTree      // rects around geo discs -> geoIDs index
+	geoIDs  []string            // R-tree leaf id -> item ID
 }
 
 // NewRepository returns an empty repository.
 func NewRepository() *Repository {
 	return &Repository{
-		items: make(map[string]*Item),
-		byCat: make(map[string][]string),
+		items:   make(map[string]*Item),
+		byCat:   make(map[string][]string),
+		geoTree: spatial.NewRTree(),
 	}
 }
 
@@ -144,6 +150,10 @@ func (r *Repository) Add(it *Item) error {
 	top := it.TopCategory()
 	if top != "" {
 		r.byCat[top] = append(r.byCat[top], it.ID)
+	}
+	if it.Geo != nil {
+		r.geoTree.Insert(geo.RectAround(it.Geo.Center, it.Geo.Radius), len(r.geoIDs))
+		r.geoIDs = append(r.geoIDs, it.ID)
 	}
 	// Insert into the publish-ordered list (items arrive mostly in
 	// order, so the scan from the tail is effectively O(1)).
@@ -198,29 +208,45 @@ func (r *Repository) ByCategory(cat string) []*Item {
 
 // PublishedSince returns items published at or after t, ascending.
 func (r *Repository) PublishedSince(t time.Time) []*Item {
+	return r.AppendPublishedSince(nil, t)
+}
+
+// AppendPublishedSince appends the items published at or after t to dst
+// (ascending by publish time), reusing its capacity — the allocation-free
+// variant for ranking paths that rebuild the candidate window per
+// request.
+func (r *Repository) AppendPublishedSince(dst []*Item, t time.Time) []*Item {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	// Binary search over the sorted list.
 	i := sort.Search(len(r.sorted), func(i int) bool {
 		return !r.items[r.sorted[i]].Published.Before(t)
 	})
-	out := make([]*Item, 0, len(r.sorted)-i)
 	for _, id := range r.sorted[i:] {
-		out = append(out, r.items[id])
+		dst = append(dst, r.items[id])
 	}
-	return out
+	return dst
 }
 
-// GeoItems returns the items whose geographic scope contains p.
+// GeoItems returns the items whose geographic scope contains p, ordered
+// by ascending publish time (ties by ID). The query walks the R-tree
+// over the items' relevance discs instead of scanning the whole table.
 func (r *Repository) GeoItems(p geo.Point) []*Item {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	var out []*Item
-	for _, id := range r.sorted {
-		it := r.items[id]
-		if it.Geo != nil && geo.Distance(p, it.Geo.Center) <= it.Geo.Radius {
+	ids := r.geoTree.Search(geo.PointRect(p), nil)
+	out := make([]*Item, 0, len(ids))
+	for _, id := range ids {
+		it := r.items[r.geoIDs[id]]
+		if geo.Distance(p, it.Geo.Center) <= it.Geo.Radius {
 			out = append(out, it)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Published.Equal(out[j].Published) {
+			return out[i].Published.Before(out[j].Published)
+		}
+		return out[i].ID < out[j].ID
+	})
 	return out
 }

@@ -1,6 +1,8 @@
 package content
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -229,5 +231,55 @@ func TestPipelineIngestAll(t *testing.T) {
 	// Duplicate ID in the batch stops with an error.
 	if _, err := p.IngestAll([]RawPodcast{{ID: "a", Duration: time.Minute, Speech: "goal"}}); err == nil {
 		t.Fatal("duplicate batch accepted")
+	}
+}
+
+// TestGeoItemsEquivalenceWithLinearScan cross-checks the R-tree-backed
+// GeoItems against the seed's full-table scan on randomized items and
+// query points.
+func TestGeoItemsEquivalenceWithLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := NewRepository()
+	var geoItems []*Item
+	for i := 0; i < 400; i++ {
+		it := item(fmt.Sprintf("it-%03d", i), "regional", time.Minute, t0.Add(time.Duration(i)*time.Minute))
+		if i%3 != 0 { // mix in non-geo items the index must ignore
+			center := geo.Destination(torino, rng.Float64()*360, rng.Float64()*30000)
+			it.Geo = &GeoRelevance{Center: center, Radius: 200 + rng.Float64()*5000}
+			geoItems = append(geoItems, it)
+		}
+		if err := r.Add(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	linear := func(p geo.Point) map[string]bool {
+		out := map[string]bool{}
+		for _, it := range geoItems {
+			if geo.Distance(p, it.Geo.Center) <= it.Geo.Radius {
+				out[it.ID] = true
+			}
+		}
+		return out
+	}
+	hits := 0
+	for q := 0; q < 200; q++ {
+		p := geo.Destination(torino, rng.Float64()*360, rng.Float64()*35000)
+		want := linear(p)
+		got := r.GeoItems(p)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d items from index, %d from scan", q, len(got), len(want))
+		}
+		for i, it := range got {
+			if !want[it.ID] {
+				t.Fatalf("query %d: index returned %q, scan did not", q, it.ID)
+			}
+			if i > 0 && got[i-1].Published.After(it.Published) {
+				t.Fatalf("query %d: results not in publish order", q)
+			}
+		}
+		hits += len(got)
+	}
+	if hits == 0 {
+		t.Fatal("degenerate test: no query matched anything")
 	}
 }

@@ -192,3 +192,248 @@ func BenchmarkPreferences(b *testing.B) {
 		s.Preferences("u", now, params)
 	}
 }
+
+// --- PR 2: incremental index, compaction, aliasing ---------------------
+
+// almostEqual compares two sparse vectors to 1e-9.
+func almostEqual(t *testing.T, got, want map[string]float64) {
+	t.Helper()
+	keys := map[string]bool{}
+	for k := range got {
+		keys[k] = true
+	}
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range keys {
+		if math.Abs(got[k]-want[k]) > 1e-9 {
+			t.Fatalf("category %q: incremental %v vs replay %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestAppendDeepCopiesCategories(t *testing.T) {
+	s := NewStore()
+	cat := map[string]float64{"food": 1}
+	if err := s.Append(Event{UserID: "u", ItemID: "i", Kind: Like, At: t0, Categories: cat}); err != nil {
+		t.Fatal(err)
+	}
+	// Caller mutates its map after the append: the store must be immune.
+	cat["food"] = -100
+	cat["crime"] = 42
+	prefs := s.Preferences("u", t0, PreferenceParams{HalfLife: time.Hour})
+	if math.Abs(prefs["food"]-1) > 1e-9 || prefs["crime"] != 0 {
+		t.Fatalf("store aliased caller map: %v", prefs)
+	}
+	// ByUser results are copies too.
+	got := s.ByUser("u")
+	got[0].Categories["food"] = -7
+	if prefs := s.Preferences("u", t0, PreferenceParams{HalfLife: time.Hour}); math.Abs(prefs["food"]-1) > 1e-9 {
+		t.Fatalf("ByUser aliased store memory: %v", prefs)
+	}
+}
+
+func TestIncrementalMatchesReplay(t *testing.T) {
+	s := NewStore()
+	params := DefaultPreferenceParams()
+	params.Seed = map[string]float64{"technology": 0.4}
+	cats := []map[string]float64{
+		{"food": 0.7, "culture": 0.3},
+		{"sport": 1},
+		{"music": 0.5, "art": 0.5},
+	}
+	kinds := []Kind{ImplicitListen, Skip, Like, Dislike}
+	at := t0
+	for i := 0; i < 500; i++ {
+		// Irregular spacing, including an out-of-order event every 50th.
+		at = at.Add(time.Duration(1+i%7) * 13 * time.Minute)
+		evAt := at
+		if i%50 == 49 {
+			evAt = at.Add(-36 * time.Hour)
+		}
+		if err := s.Append(Event{UserID: "u", Kind: kinds[i%len(kinds)], At: evAt, Categories: cats[i%len(cats)]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, lag := range []time.Duration{0, time.Hour, 40 * 24 * time.Hour} {
+		now := at.Add(lag)
+		almostEqual(t, s.Preferences("u", now, params), s.PreferencesReplay("u", now, params))
+	}
+	st := s.Stats()
+	if st.IndexReads == 0 {
+		t.Fatalf("index path never taken: %+v", st)
+	}
+}
+
+func TestPreferencesNonIndexHalfLifeFallsBackToReplay(t *testing.T) {
+	s := NewStore()
+	if err := s.Append(Event{UserID: "u", Kind: Like, At: t0, Categories: map[string]float64{"art": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	params := PreferenceParams{HalfLife: time.Hour}
+	got := s.Preferences("u", t0.Add(time.Hour), params)
+	if math.Abs(got["art"]-0.5) > 1e-9 {
+		t.Fatalf("custom half-life wrong: %v", got)
+	}
+	if st := s.Stats(); st.ReplayReads == 0 {
+		t.Fatalf("expected replay fallback: %+v", st)
+	}
+}
+
+func TestPreferencesReadBeforeLastEventMatchesReplay(t *testing.T) {
+	s := NewStore()
+	params := DefaultPreferenceParams()
+	if err := s.Append(Event{UserID: "u", Kind: Like, At: t0, Categories: map[string]float64{"art": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Event{UserID: "u", Kind: Like, At: t0.Add(48 * time.Hour), Categories: map[string]float64{"food": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// now is before the newest event: the future event must count at full
+	// weight (age clamp), exactly as the replay semantics define.
+	now := t0.Add(time.Hour)
+	almostEqual(t, s.Preferences("u", now, params), s.PreferencesReplay("u", now, params))
+}
+
+func TestCompactFoldsOldEventsAndPreservesPreferences(t *testing.T) {
+	s := NewStore()
+	params := DefaultPreferenceParams()
+	at := t0
+	for i := 0; i < 300; i++ {
+		at = at.Add(37 * time.Minute)
+		if err := s.Append(Event{UserID: "u", Kind: Like, At: at, Categories: map[string]float64{"food": 0.6, "art": 0.4}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := at.Add(time.Hour)
+	before := s.Preferences("u", now, params)
+	beforeReplay := s.PreferencesReplay("u", now, params)
+
+	horizon := 3 * 24 * time.Hour
+	folded := s.Compact("u", now, horizon)
+	if folded == 0 {
+		t.Fatal("nothing compacted")
+	}
+	if s.Len() != 300-folded {
+		t.Fatalf("Len = %d after folding %d of 300", s.Len(), folded)
+	}
+	for _, e := range s.ByUser("u") {
+		if e.At.Before(now.Add(-horizon)) {
+			t.Fatalf("event older than horizon survived: %v", e.At)
+		}
+	}
+	// The index is untouched by compaction; replay now goes through the
+	// baseline and must still agree.
+	almostEqual(t, s.Preferences("u", now, params), before)
+	almostEqual(t, s.PreferencesReplay("u", now, params), beforeReplay)
+
+	// Idempotent at the same instant; a later compaction folds more.
+	if n := s.Compact("u", now, horizon); n != 0 {
+		t.Fatalf("re-compaction folded %d", n)
+	}
+	later := now.Add(5 * 24 * time.Hour)
+	if n := s.Compact("u", later, horizon); n == 0 {
+		t.Fatal("later compaction folded nothing")
+	}
+	almostEqual(t, s.PreferencesReplay("u", later, params), s.Preferences("u", later, params))
+
+	st := s.Stats()
+	if st.CompactedEvents == 0 || st.Compactions < 2 {
+		t.Fatalf("compaction counters wrong: %+v", st)
+	}
+}
+
+func TestCompactAll(t *testing.T) {
+	s := NewStore()
+	for _, u := range []string{"a", "b", "c"} {
+		for i := 0; i < 10; i++ {
+			if err := s.Append(Event{UserID: u, Kind: Like, At: t0.Add(time.Duration(i) * time.Hour), Categories: map[string]float64{"food": 1}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	now := t0.Add(60 * 24 * time.Hour)
+	if n := s.CompactAll(now, 24*time.Hour); n != 30 {
+		t.Fatalf("CompactAll folded %d, want 30", n)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after full compaction", s.Len())
+	}
+	params := DefaultPreferenceParams()
+	almostEqual(t, s.PreferencesReplay("a", now, params), s.Preferences("a", now, params))
+	if s.Preferences("a", now, params)["food"] <= 0 {
+		t.Fatal("baseline lost the preference mass")
+	}
+}
+
+func TestPreferencesCostIndependentOfHistory(t *testing.T) {
+	// Structural guarantee behind the ≥10× benchmark claim: the index
+	// read must not touch the log at all. Compare a 10-event user and a
+	// 10k-event user via the counters (both must be index reads).
+	s := NewStore()
+	cat := map[string]float64{"food": 1}
+	for i := 0; i < 10; i++ {
+		_ = s.Append(Event{UserID: "small", Kind: Like, At: t0.Add(time.Duration(i) * time.Minute), Categories: cat})
+	}
+	for i := 0; i < 10000; i++ {
+		_ = s.Append(Event{UserID: "big", Kind: Like, At: t0.Add(time.Duration(i) * time.Minute), Categories: cat})
+	}
+	now := t0.Add(30 * 24 * time.Hour)
+	params := DefaultPreferenceParams()
+	base := s.Stats()
+	s.Preferences("small", now, params)
+	s.Preferences("big", now, params)
+	st := s.Stats()
+	if st.IndexReads-base.IndexReads != 2 || st.ReplayReads != base.ReplayReads {
+		t.Fatalf("reads did not stay on the index: %+v -> %+v", base, st)
+	}
+}
+
+// --- Benchmarks: the O(history) hot path vs the incremental index ------
+
+func benchStore(b *testing.B, events int) *Store {
+	b.Helper()
+	s := NewStore()
+	cat := map[string]float64{"food": 0.5, "culture": 0.3, "music": 0.2}
+	for i := 0; i < events; i++ {
+		if err := s.Append(Event{UserID: "u", Kind: ImplicitListen, At: t0.Add(time.Duration(i) * time.Minute), Categories: cat}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkPreferencesReplay is the seed behavior: every read replays
+// the full 10k-event log.
+func BenchmarkPreferencesReplay(b *testing.B) {
+	s := benchStore(b, 10000)
+	params := DefaultPreferenceParams()
+	now := t0.Add(30 * 24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.PreferencesReplay("u", now, params)
+	}
+}
+
+// BenchmarkPreferencesIncremental reads the same 10k-event user from the
+// incremental index: O(categories), independent of history length.
+func BenchmarkPreferencesIncremental(b *testing.B) {
+	s := benchStore(b, 10000)
+	params := DefaultPreferenceParams()
+	now := t0.Add(30 * 24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Preferences("u", now, params)
+	}
+}
+
+func BenchmarkAppendIncremental(b *testing.B) {
+	s := NewStore()
+	cat := map[string]float64{"food": 0.5, "culture": 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(Event{UserID: "u", Kind: ImplicitListen, At: t0.Add(time.Duration(i) * time.Second), Categories: cat}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,45 +5,129 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 )
 
-// snapshot is the on-disk shape: per-user event logs in insertion order.
-type snapshot struct {
-	Users map[string][]Event `json:"users"`
+// snapshotVersion is the current on-disk format: per-user compacted
+// baselines plus the live event tail. Version 0 (the legacy format,
+// plain per-user event logs) is still accepted by Restore.
+const snapshotVersion = 2
+
+// userSnapshot is the durable state of one listener: the compaction
+// baseline (if any) and the live log in insertion order.
+type userSnapshot struct {
+	Events    []Event            `json:"events,omitempty"`
+	Base      map[string]float64 `json:"base,omitempty"`
+	BaseAt    time.Time          `json:"base_at,omitempty"`
+	BaseCount int                `json:"base_count,omitempty"`
+	// Skipped preserves the skip/dislike item set across compaction (the
+	// live events re-derive their share of it on replay).
+	Skipped []string `json:"skipped,omitempty"`
 }
 
-// Snapshot serializes the whole feedback DB as JSON.
+// snapshot is the on-disk shape.
+type snapshot struct {
+	Version int                     `json:"version"`
+	Users   map[string]userSnapshot `json:"users"`
+}
+
+// legacySnapshot is the pre-compaction format: raw per-user event logs.
+type legacySnapshot struct {
+	Version int                `json:"version"`
+	Users   map[string][]Event `json:"users"`
+}
+
+// Snapshot serializes the whole feedback DB — compacted baselines and
+// live logs — as JSON. The incremental index is not serialized; Restore
+// rebuilds it exactly by folding the baseline and replaying the tail.
 func (s *Store) Snapshot(w io.Writer) error {
-	s.mu.RLock()
-	snap := snapshot{Users: make(map[string][]Event, len(s.byUser))}
-	for user, events := range s.byUser {
-		snap.Users[user] = append([]Event(nil), events...)
+	snap := snapshot{Version: snapshotVersion, Users: make(map[string]userSnapshot)}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for userID, st := range sh.users {
+			us := userSnapshot{
+				Base:      copyCategories(st.base),
+				BaseAt:    st.baseAt,
+				BaseCount: st.baseCount,
+			}
+			if len(st.skipped) > 0 {
+				us.Skipped = make([]string, 0, len(st.skipped))
+				for id := range st.skipped {
+					us.Skipped = append(us.Skipped, id)
+				}
+				sort.Strings(us.Skipped)
+			}
+			us.Events = make([]Event, len(st.events))
+			for j, e := range st.events {
+				e.Categories = copyCategories(e.Categories)
+				us.Events[j] = e
+			}
+			snap.Users[userID] = us
+		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 	return json.NewEncoder(w).Encode(snap)
 }
 
-// Restore loads a snapshot into an empty store.
+// Restore loads a snapshot into an empty store, rebuilding the
+// incremental index: each user's baseline seeds the vector at its
+// fold instant and the live events are re-folded on top, so restored
+// preferences match the original store bit-for-bit (uncompacted stores)
+// or to floating-point accumulation error (compacted ones).
 func (s *Store) Restore(rd io.Reader) error {
-	if s.Len() != 0 {
+	if !s.empty() {
 		return fmt.Errorf("feedback: restore requires an empty store (have %d events)", s.Len())
 	}
-	var snap snapshot
-	if err := json.NewDecoder(rd).Decode(&snap); err != nil {
+	var raw json.RawMessage
+	if err := json.NewDecoder(rd).Decode(&raw); err != nil {
 		return fmt.Errorf("feedback: decoding snapshot: %w", err)
 	}
-	// Deterministic replay order across users.
-	users := make([]string, 0, len(snap.Users))
-	for u := range snap.Users {
+	var ver struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(raw, &ver); err != nil {
+		return fmt.Errorf("feedback: decoding snapshot version: %w", err)
+	}
+	switch ver.Version {
+	case snapshotVersion:
+		var snap snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return fmt.Errorf("feedback: decoding snapshot: %w", err)
+		}
+		for _, u := range sortedUsers(snap.Users) {
+			us := snap.Users[u]
+			s.restoreUser(u, us.Base, us.BaseAt, us.BaseCount, us.Skipped)
+			for _, e := range us.Events {
+				if err := s.Append(e); err != nil {
+					return fmt.Errorf("feedback: restoring %q: %w", u, err)
+				}
+			}
+		}
+	case 0:
+		var snap legacySnapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return fmt.Errorf("feedback: decoding legacy snapshot: %w", err)
+		}
+		for _, u := range sortedUsers(snap.Users) {
+			for _, e := range snap.Users[u] {
+				if err := s.Append(e); err != nil {
+					return fmt.Errorf("feedback: restoring %q: %w", u, err)
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("feedback: unsupported snapshot version %d", ver.Version)
+	}
+	return nil
+}
+
+// sortedUsers gives a deterministic replay order across users.
+func sortedUsers[V any](m map[string]V) []string {
+	users := make([]string, 0, len(m))
+	for u := range m {
 		users = append(users, u)
 	}
 	sort.Strings(users)
-	for _, u := range users {
-		for _, e := range snap.Users[u] {
-			if err := s.Append(e); err != nil {
-				return fmt.Errorf("feedback: restoring %q: %w", u, err)
-			}
-		}
-	}
-	return nil
+	return users
 }

@@ -63,3 +63,67 @@ func TestFeedbackRestoreValidation(t *testing.T) {
 		t.Fatal("bad json accepted")
 	}
 }
+
+func TestFeedbackSnapshotRestoreCompacted(t *testing.T) {
+	s := NewStore()
+	params := DefaultPreferenceParams()
+	at := t0
+	for i := 0; i < 200; i++ {
+		at = at.Add(time.Hour)
+		if err := s.Append(Event{UserID: "lilly", ItemID: "it", Kind: Like, At: at, Categories: map[string]float64{"food": 0.7, "culture": 0.3}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := at.Add(time.Hour)
+	if n := s.Compact("lilly", now, 48*time.Hour); n == 0 {
+		t.Fatal("nothing compacted")
+	}
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore()
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != s.Len() {
+		t.Fatalf("live event counts differ: %d vs %d", restored.Len(), s.Len())
+	}
+	a := s.Preferences("lilly", now, params)
+	b := restored.Preferences("lilly", now, params)
+	for k, v := range a {
+		if diff := v - b[k]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("preference %q differs: %v vs %v", k, v, b[k])
+		}
+	}
+	ar := s.PreferencesReplay("lilly", now, params)
+	br := restored.PreferencesReplay("lilly", now, params)
+	for k, v := range ar {
+		if diff := v - br[k]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("replay preference %q differs: %v vs %v", k, v, br[k])
+		}
+	}
+	// Restoring into a store holding only a baseline must be refused too.
+	if err := restored.Restore(strings.NewReader(`{"version":2,"users":{}}`)); err == nil {
+		t.Fatal("restore into non-empty (baseline-only) store accepted")
+	}
+}
+
+func TestFeedbackRestoreLegacyFormat(t *testing.T) {
+	// The pre-compaction on-disk shape: no version, raw per-user logs.
+	legacy := `{"users":{"greg":[{"UserID":"greg","ItemID":"x","Kind":2,"At":"2016-11-15T08:00:00Z","Categories":{"sport":1}}]}}`
+	s := NewStore()
+	if err := s.Restore(strings.NewReader(legacy)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	prefs := s.Preferences("greg", t0, DefaultPreferenceParams())
+	if prefs["sport"] <= 0.99 {
+		t.Fatalf("legacy event lost: %v", prefs)
+	}
+	if err := NewStore().Restore(strings.NewReader(`{"version":9,"users":{}}`)); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}

@@ -158,10 +158,16 @@ func TestPlanEndpointRegeneratesStalePlan(t *testing.T) {
 }
 
 func TestStatsEndpoint(t *testing.T) {
-	ts, srv, _, w, user := newWarmableServer(t)
+	ts, srv, sys, w, user := newWarmableServer(t)
 	srv.SetWarmerStats(func() interface{} {
 		return map[string]int{"plans_warmed": 7}
 	})
+	if err := sys.AddFeedback(feedback.Event{
+		UserID: user, ItemID: "it", Kind: feedback.Like,
+		At: w.Params.StartDate, Categories: map[string]float64{"food": 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
 	body := planBody(t, w, user)
 	postJSON(t, ts.URL+"/api/plan", body).Body.Close()
 	postJSON(t, ts.URL+"/api/plan", body).Body.Close()
@@ -181,6 +187,15 @@ func TestStatsEndpoint(t *testing.T) {
 			Warm LatencyView `json:"warm"`
 			Cold LatencyView `json:"cold"`
 		} `json:"plan"`
+		Feedback struct {
+			Users      int   `json:"users"`
+			LiveEvents int64 `json:"live_events"`
+			IndexReads int64 `json:"index_reads"`
+		} `json:"feedback"`
+		Locks struct {
+			Shards int   `json:"shards"`
+			Ops    int64 `json:"ops"`
+		} `json:"locks"`
 		Warmer map[string]int `json:"warmer"`
 	}
 	decode(t, resp, &view)
@@ -201,6 +216,15 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if view.Warmer["plans_warmed"] != 7 {
 		t.Fatalf("warmer stats = %v", view.Warmer)
+	}
+	// The preference-index and lock-contention counters are live: the
+	// cold plan read preferences off the index, and the plan requests
+	// went through the sharded per-user state.
+	if view.Feedback.Users != 1 || view.Feedback.LiveEvents != 1 || view.Feedback.IndexReads == 0 {
+		t.Fatalf("feedback stats = %+v", view.Feedback)
+	}
+	if view.Locks.Shards == 0 || view.Locks.Ops == 0 {
+		t.Fatalf("lock stats = %+v", view.Locks)
 	}
 	// /api/stats serves the same view; bad method rejected.
 	resp2, err := http.Get(ts.URL + "/api/stats")

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"time"
 
+	"pphcr"
+	"pphcr/internal/feedback"
 	"pphcr/internal/plancache"
 )
 
@@ -45,7 +47,9 @@ func (l *latencyAgg) view() LatencyView {
 }
 
 // StatsView is the /stats response: plan-cache counters (with hit rate),
-// warm-vs-cold plan latency, and — when a warmer is attached — the
+// warm-vs-cold plan latency, the feedback store's preference-index
+// counters (index vs replay reads, compaction progress), the user-shard
+// lock-contention counters, and — when a warmer is attached — the
 // precompute scheduler's counters.
 type StatsView struct {
 	Cache plancache.Stats `json:"cache"`
@@ -53,7 +57,9 @@ type StatsView struct {
 		Warm LatencyView `json:"warm"`
 		Cold LatencyView `json:"cold"`
 	} `json:"plan"`
-	Warmer interface{} `json:"warmer,omitempty"`
+	Feedback feedback.Stats  `json:"feedback"`
+	Locks    pphcr.LockStats `json:"locks"`
+	Warmer   interface{}     `json:"warmer,omitempty"`
 }
 
 // SetWarmerStats attaches a provider of precompute-scheduler counters to
@@ -69,6 +75,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	view.Cache = s.sys.PlanCache.Stats()
 	view.Plan.Warm = s.warmLat.view()
 	view.Plan.Cold = s.coldLat.view()
+	view.Feedback = s.sys.Feedback.Stats()
+	view.Locks = s.sys.LockStats()
 	if s.warmerStats != nil {
 		view.Warmer = s.warmerStats()
 	}

@@ -10,6 +10,11 @@
 //     renumbered staying points), so re-enumerate and re-warm.
 //   - feedback.# — the preference vector moved; the System already
 //     invalidated the user's entries inline, the scheduler re-warms them.
+//     Re-warming reads the preference vector from the feedback store's
+//     incremental index (via System.Preferences), so a warm pass costs
+//     O(categories) per user regardless of feedback-history length —
+//     feedback *compaction* ("prefs.compacted") deliberately does not
+//     reach this subscription, since it never moves the vector.
 //   - content.ingested.# — a new clip entered every candidate set; the
 //     System bumped the cache epoch, the scheduler re-warms all users
 //     with mobility models.
@@ -113,6 +118,10 @@ type Scheduler struct {
 	feedbackQ *broker.Queue
 	contentQ  *broker.Queue
 
+	// usersBuf is reused across Polls for the mobility population sweep
+	// (Poll runs on the single event-loop goroutine, never concurrently).
+	usersBuf []string
+
 	eventsCompacted atomic.Int64
 	eventsFeedback  atomic.Int64
 	eventsContent   atomic.Int64
@@ -174,7 +183,8 @@ func (s *Scheduler) Poll(now time.Time) int {
 		_ = s.contentQ.Ack(msg.ID)
 	}
 	if content > 0 {
-		for _, u := range s.sys.MobilityUsers() {
+		s.usersBuf = s.sys.AppendMobilityUsers(s.usersBuf[:0])
+		for _, u := range s.usersBuf {
 			users[u] = true
 		}
 	}

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"pphcr/internal/feedback"
+)
+
+func feedFeedback(t *testing.T, sys interface {
+	AddFeedback(feedback.Event) error
+}, user string, n int, start time.Time) time.Time {
+	t.Helper()
+	at := start
+	for i := 0; i < n; i++ {
+		at = at.Add(time.Hour)
+		if err := sys.AddFeedback(feedback.Event{
+			UserID: user, ItemID: "it", Kind: feedback.Like, At: at,
+			Categories: map[string]float64{"food": 1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return at
+}
+
+func TestFeedbackCompactorTriggersOnThreshold(t *testing.T) {
+	sys, w := testSystem(t)
+	c, err := NewFeedbackCompactor(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EventsPerCompaction = 50
+	c.Horizon = 24 * time.Hour
+
+	start := w.Params.StartDate
+	last := feedFeedback(t, sys, "lilly", 120, start)
+	now := last.Add(time.Hour)
+	c.Now = func() time.Time { return now }
+
+	before := sys.Preferences("lilly", now)
+	compacted := c.Poll()
+	if len(compacted) != 1 || compacted[0] != "lilly" {
+		t.Fatalf("compacted = %v", compacted)
+	}
+	// The live log shrank to the horizon; preferences are untouched.
+	for _, e := range sys.Feedback.ByUser("lilly") {
+		if e.At.Before(now.Add(-c.Horizon)) {
+			t.Fatalf("event older than horizon survived: %v", e.At)
+		}
+	}
+	after := sys.Preferences("lilly", now)
+	for k, v := range before {
+		if math.Abs(after[k]-v) > 1e-9 {
+			t.Fatalf("compaction moved preference %q: %v -> %v", k, v, after[k])
+		}
+	}
+	st := c.Stats()
+	if st.Compactions != 1 || st.EventsFolded == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Counter reset: an immediate second poll does nothing.
+	if compacted := c.Poll(); len(compacted) != 0 {
+		t.Fatalf("second poll compacted %v", compacted)
+	}
+}
+
+func TestFeedbackCompactorBelowThreshold(t *testing.T) {
+	sys, w := testSystem(t)
+	c, err := NewFeedbackCompactor(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EventsPerCompaction = 100000 // never
+	feedFeedback(t, sys, "lilly", 20, w.Params.StartDate)
+	if compacted := c.Poll(); len(compacted) != 0 {
+		t.Fatalf("unexpected work: %v", compacted)
+	}
+	if sys.Feedback.Len() != 20 {
+		t.Fatalf("log shrank without compaction: %d", sys.Feedback.Len())
+	}
+}
+
+func TestFeedbackCompactorRunLoop(t *testing.T) {
+	sys, w := testSystem(t)
+	c, err := NewFeedbackCompactor(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EventsPerCompaction = 50
+	c.Horizon = 24 * time.Hour
+	var last time.Time
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	last = feedFeedback(t, sys, "lilly", 120, w.Params.StartDate)
+	now := last.Add(time.Hour)
+	c.Now = func() time.Time { return now }
+	go func() {
+		c.Run(stop)
+		close(done)
+	}()
+	deadline := time.After(5 * time.Second)
+	for c.Stats().EventsFolded == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("run loop never compacted")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("run loop did not stop")
+	}
+}

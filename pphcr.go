@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pphcr/internal/asr"
@@ -68,6 +69,36 @@ type Config struct {
 	// PlanTTL is how long a precomputed trip plan may be served before it
 	// is considered stale. Default plancache.DefaultTTL (10 minutes).
 	PlanTTL time.Duration
+	// UserShards is the stripe count of the per-user state shards
+	// (mobility models, pending injections, last plans). Rounded up to a
+	// power of two. Default DefaultUserShards (32).
+	UserShards int
+}
+
+// DefaultUserShards is the default stripe count of the per-user state.
+const DefaultUserShards = 32
+
+// userShard is one stripe of the per-user server state. Striping by a
+// hash of the user ID means concurrent PlanTrip / AddFeedback /
+// CompactTracking calls for different users (almost) never contend on
+// the same mutex — the seed serialized all of them behind one global
+// lock.
+type userShard struct {
+	mu        sync.RWMutex
+	mobility  map[string]*tracking.CompactModel
+	injected  map[string][]string // user -> editorially injected item IDs
+	lastPlans map[string]*TripPlan
+}
+
+// LockStats reports the user-shard locking counters: how many lock
+// acquisitions the per-user state saw and how many of them found the
+// shard already held (a TryLock-miss proxy for contention). With the
+// seed's single global mutex every concurrent pair contended; with
+// striping the contended fraction should stay near zero.
+type LockStats struct {
+	Shards    int   `json:"shards"`
+	Ops       int64 `json:"ops"`
+	Contended int64 `json:"contended"`
 }
 
 // System is the PPHCR content server.
@@ -88,10 +119,59 @@ type System struct {
 	pipeline        *content.Pipeline
 	candidateWindow time.Duration
 
-	mu        sync.RWMutex
-	mobility  map[string]*tracking.CompactModel
-	injected  map[string][]string // user -> editorially injected item IDs
-	lastPlans map[string]*TripPlan
+	shards        []userShard
+	shardMask     uint32
+	lockOps       atomic.Int64
+	lockContended atomic.Int64
+
+	// candPool recycles candidate-window slices between ranking calls so
+	// the warm path stops allocating (and copying) the window per request.
+	candPool sync.Pool
+}
+
+// FNV-1a, inlined: shardFor sits on the request fast path and must not
+// allocate (hash/fnv costs a hasher plus a byte slice per call) — same
+// idiom as internal/plancache.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// shardFor returns the stripe holding the user's state.
+func (s *System) shardFor(userID string) *userShard {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(userID); i++ {
+		h ^= uint32(userID[i])
+		h *= fnvPrime32
+	}
+	return &s.shards[h&s.shardMask]
+}
+
+// lockShard / rlockShard acquire the shard mutex, counting acquisitions
+// that found it already held.
+func (s *System) lockShard(sh *userShard) {
+	s.lockOps.Add(1)
+	if !sh.mu.TryLock() {
+		s.lockContended.Add(1)
+		sh.mu.Lock()
+	}
+}
+
+func (s *System) rlockShard(sh *userShard) {
+	s.lockOps.Add(1)
+	if !sh.mu.TryRLock() {
+		s.lockContended.Add(1)
+		sh.mu.RLock()
+	}
+}
+
+// LockStats snapshots the user-shard lock counters (reported on /stats).
+func (s *System) LockStats() LockStats {
+	return LockStats{
+		Shards:    len(s.shards),
+		Ops:       s.lockOps.Load(),
+		Contended: s.lockContended.Load(),
+	}
 }
 
 // New builds and wires a System.
@@ -110,6 +190,13 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.CandidateWindow <= 0 {
 		cfg.CandidateWindow = 72 * time.Hour
+	}
+	if cfg.UserShards <= 0 {
+		cfg.UserShards = DefaultUserShards
+	}
+	nShards := 1
+	for nShards < cfg.UserShards {
+		nShards <<= 1
 	}
 	var nb textclass.NaiveBayes
 	if err := nb.Train(cfg.TrainingDocs); err != nil {
@@ -137,9 +224,13 @@ func New(cfg Config) (*System, error) {
 			Repo:       repo,
 		},
 		candidateWindow: cfg.CandidateWindow,
-		mobility:        make(map[string]*tracking.CompactModel),
-		injected:        make(map[string][]string),
-		lastPlans:       make(map[string]*TripPlan),
+		shards:          make([]userShard, nShards),
+		shardMask:       uint32(nShards - 1),
+	}
+	for i := range s.shards {
+		s.shards[i].mobility = make(map[string]*tracking.CompactModel)
+		s.shards[i].injected = make(map[string][]string)
+		s.shards[i].lastPlans = make(map[string]*TripPlan)
 	}
 	return s, nil
 }
@@ -194,9 +285,10 @@ func (s *System) CompactTracking(userID string) (*tracking.CompactModel, error) 
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.mobility[userID] = cm
-	s.mu.Unlock()
+	sh := s.shardFor(userID)
+	s.lockShard(sh)
+	sh.mobility[userID] = cm
+	sh.mu.Unlock()
 	// Re-compaction renumbers the user's staying points, so cached keys
 	// (which embed PlaceIDs) must not survive it.
 	s.PlanCache.InvalidateUser(userID)
@@ -206,27 +298,40 @@ func (s *System) CompactTracking(userID string) (*tracking.CompactModel, error) 
 
 // MobilityModel returns the cached compact model for a user.
 func (s *System) MobilityModel(userID string) (*tracking.CompactModel, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	cm, ok := s.mobility[userID]
+	sh := s.shardFor(userID)
+	s.rlockShard(sh)
+	defer sh.mu.RUnlock()
+	cm, ok := sh.mobility[userID]
 	return cm, ok
 }
 
 // MobilityUsers lists the users with a compacted mobility model — the
 // population the precompute scheduler can warm plans for.
 func (s *System) MobilityUsers() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.mobility))
-	for u := range s.mobility {
-		out = append(out, u)
+	return s.AppendMobilityUsers(nil)
+}
+
+// AppendMobilityUsers appends the mobility-model population to dst
+// (sorted), reusing its capacity — the allocation-free variant for
+// callers that poll the population repeatedly (the precompute
+// scheduler, the warmer).
+func (s *System) AppendMobilityUsers(dst []string) []string {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.rlockShard(sh)
+		for u := range sh.mobility {
+			dst = append(dst, u)
+		}
+		sh.mu.RUnlock()
 	}
-	sort.Strings(out)
-	return out
+	sort.Strings(dst)
+	return dst
 }
 
 // Preferences returns the user's current category preference vector:
 // time-decayed feedback blended with the profile's declared interests.
+// The read is served from the feedback store's incremental index in
+// O(categories) — independent of how much history the user has.
 func (s *System) Preferences(userID string, now time.Time) map[string]float64 {
 	params := feedback.DefaultPreferenceParams()
 	if p, err := s.Profiles.Get(userID); err == nil {
@@ -235,10 +340,43 @@ func (s *System) Preferences(userID string, now time.Time) map[string]float64 {
 	return s.Feedback.Preferences(userID, now, params)
 }
 
+// CompactFeedback folds the user's feedback events older than horizon
+// into their baseline vector and truncates the log — the feedback
+// analogue of CompactTracking, keeping per-user memory bounded.
+// Preferences are unaffected (the incremental index already contains
+// every event), so warm plans stay valid and no cache invalidation is
+// needed. It returns the number of events folded away.
+func (s *System) CompactFeedback(userID string, now time.Time, horizon time.Duration) int {
+	n := s.Feedback.Compact(userID, now, horizon)
+	if n > 0 {
+		// Deliberately NOT under "feedback.#": compaction does not change
+		// the preference vector, so it must not trigger plan re-warming.
+		s.Broker.Publish("prefs.compacted", []byte(userID))
+	}
+	return n
+}
+
 // Candidates returns the current candidate clip set: everything published
 // within the candidate window before now.
 func (s *System) Candidates(now time.Time) []*content.Item {
-	return s.Repo.PublishedSince(now.Add(-s.candidateWindow))
+	return s.Repo.AppendPublishedSince(nil, now.Add(-s.candidateWindow))
+}
+
+// acquireCandidates fills a pooled slice with the candidate window —
+// the ranking paths only read the window, so copying it per request is
+// pure allocation churn. Callers must releaseCandidates the slice after
+// the ranker is done (rankers retain item pointers, never the slice).
+func (s *System) acquireCandidates(now time.Time) *[]*content.Item {
+	bp, ok := s.candPool.Get().(*[]*content.Item)
+	if !ok {
+		bp = new([]*content.Item)
+	}
+	*bp = s.Repo.AppendPublishedSince((*bp)[:0], now.Add(-s.candidateWindow))
+	return bp
+}
+
+func (s *System) releaseCandidates(bp *[]*content.Item) {
+	s.candPool.Put(bp)
 }
 
 // Recommend ranks the current candidates for the user in the given
@@ -247,12 +385,15 @@ func (s *System) Candidates(now time.Time) []*content.Item {
 // semantics).
 func (s *System) Recommend(userID string, ctx recommend.Context, k int) []recommend.Scored {
 	prefs := s.Preferences(userID, ctx.Now)
-	ranked := s.Scorer.Rank(prefs, s.Candidates(ctx.Now), ctx, k)
+	cands := s.acquireCandidates(ctx.Now)
+	ranked := s.Scorer.Rank(prefs, *cands, ctx, k)
+	s.releaseCandidates(cands)
 
-	s.mu.Lock()
-	pinnedIDs := s.injected[userID]
-	delete(s.injected, userID)
-	s.mu.Unlock()
+	sh := s.shardFor(userID)
+	s.lockShard(sh)
+	pinnedIDs := sh.injected[userID]
+	delete(sh.injected, userID)
+	sh.mu.Unlock()
 	if len(pinnedIDs) == 0 {
 		return ranked
 	}
@@ -283,18 +424,20 @@ func (s *System) Inject(userID, itemID string) error {
 	if _, ok := s.Repo.Get(itemID); !ok {
 		return fmt.Errorf("pphcr: cannot inject unknown item %q", itemID)
 	}
-	s.mu.Lock()
-	s.injected[userID] = append(s.injected[userID], itemID)
-	s.mu.Unlock()
+	sh := s.shardFor(userID)
+	s.lockShard(sh)
+	sh.injected[userID] = append(sh.injected[userID], itemID)
+	sh.mu.Unlock()
 	s.Broker.Publish("editorial.injected", []byte(userID+":"+itemID))
 	return nil
 }
 
 // PendingInjections returns the queued editorial items for a user.
 func (s *System) PendingInjections(userID string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]string(nil), s.injected[userID]...)
+	sh := s.shardFor(userID)
+	s.rlockShard(sh)
+	defer sh.mu.RUnlock()
+	return append([]string(nil), sh.injected[userID]...)
 }
 
 // TripPlan is the output of the full proactive pipeline for a trip in
@@ -395,12 +538,14 @@ func (s *System) PlanTrip(userID string, partial trajectory.Trace, now time.Time
 			return warm, nil
 		}
 	}
+	cands := s.acquireCandidates(now)
 	tp.Plan = s.Planner.Plan(core.Request{
 		Prefs:       s.Preferences(userID, now),
-		Candidates:  s.Candidates(now),
+		Candidates:  *cands,
 		Ctx:         ctx,
 		Distraction: tl,
 	})
+	s.releaseCandidates(cands)
 	if tl == nil && len(tp.Plan.Items) > 0 {
 		// The version was captured before ranking inputs were sampled, so
 		// a concurrent invalidation (global or per-user) marks this entry
@@ -488,11 +633,13 @@ func (s *System) WarmPlan(userID string, from, dest predict.PlaceID, prob float6
 	if !tp.Proactive {
 		return tp, nil
 	}
+	cands := s.acquireCandidates(at)
 	tp.Plan = s.Planner.Plan(core.Request{
 		Prefs:      s.Preferences(userID, at),
-		Candidates: s.Candidates(at),
+		Candidates: *cands,
 		Ctx:        ctx,
 	})
+	s.releaseCandidates(cands)
 	if len(tp.Plan.Items) > 0 {
 		s.PlanCache.PutVersioned(plancache.Key{User: userID, Dest: dest, Bucket: predict.BucketOf(at)}, tp, ver)
 	}
@@ -500,18 +647,20 @@ func (s *System) WarmPlan(userID string, from, dest predict.PlaceID, prob float6
 }
 
 func (s *System) rememberPlan(userID string, tp *TripPlan) {
-	s.mu.Lock()
-	s.lastPlans[userID] = tp
-	s.mu.Unlock()
+	sh := s.shardFor(userID)
+	s.lockShard(sh)
+	sh.lastPlans[userID] = tp
+	sh.mu.Unlock()
 }
 
 // LastPlan returns the most recent trip plan computed for the user —
 // what the control dashboard shows as "the details of the recommendation
 // process" (§2.2).
 func (s *System) LastPlan(userID string) (*TripPlan, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	tp, ok := s.lastPlans[userID]
+	sh := s.shardFor(userID)
+	s.rlockShard(sh)
+	defer sh.mu.RUnlock()
+	tp, ok := sh.lastPlans[userID]
 	return tp, ok
 }
 
@@ -536,12 +685,7 @@ func (s *System) SkipLive(userID, serviceID string, ctx recommend.Context) (reco
 			return recommend.Scored{}, err
 		}
 	}
-	skipped := make(map[string]bool)
-	for _, e := range s.Feedback.ByUser(userID) {
-		if e.Kind == feedback.Skip || e.Kind == feedback.Dislike {
-			skipped[e.ItemID] = true
-		}
-	}
+	skipped := s.Feedback.SkippedItems(userID)
 	for _, sc := range s.Recommend(userID, ctx, 0) {
 		if !skipped[sc.Item.ID] {
 			return sc, nil
@@ -565,12 +709,7 @@ func (s *System) SkipClip(userID, itemID string, ctx recommend.Context) (recomme
 			return recommend.Scored{}, err
 		}
 	}
-	skipped := make(map[string]bool)
-	for _, e := range s.Feedback.ByUser(userID) {
-		if e.Kind == feedback.Skip || e.Kind == feedback.Dislike {
-			skipped[e.ItemID] = true
-		}
-	}
+	skipped := s.Feedback.SkippedItems(userID)
 	for _, sc := range s.Recommend(userID, ctx, 0) {
 		if !skipped[sc.Item.ID] {
 			return sc, nil
