@@ -48,13 +48,17 @@ var (
 // highlightNames maps benchmark base names to the headline keys the
 // perf trajectory tracks.
 var highlightNames = map[string]string{
-	"BenchmarkPlanTripCold":           "plan_cold_ns",
-	"BenchmarkPlanTripWarm":           "plan_warm_ns",
-	"BenchmarkPreferencesReplay":      "preferences_replay_ns",
-	"BenchmarkPreferencesIncremental": "preferences_incremental_ns",
-	"BenchmarkConcurrentUserState":    "concurrent_user_state_ns",
-	"BenchmarkPlanCacheConcurrent":    "plan_cache_concurrent_ns",
-	"BenchmarkAppendIncremental":      "feedback_append_ns",
+	"BenchmarkPlanTripCold":             "plan_cold_ns",
+	"BenchmarkPlanTripWarm":             "plan_warm_ns",
+	"BenchmarkPreferencesReplay":        "preferences_replay_ns",
+	"BenchmarkPreferencesIncremental":   "preferences_incremental_ns",
+	"BenchmarkConcurrentUserState":      "concurrent_user_state_ns",
+	"BenchmarkPlanCacheConcurrent":      "plan_cache_concurrent_ns",
+	"BenchmarkAppendIncremental":        "feedback_append_ns",
+	"BenchmarkPlanBatch/sequential":     "warm_sequential_ns",
+	"BenchmarkPlanBatch/batch":          "warm_batch_ns",
+	"BenchmarkSkipReplacement/fullrank": "skip_fullrank_ns",
+	"BenchmarkSkipReplacement/topk":     "skip_topk_ns",
 }
 
 func main() {
@@ -81,7 +85,20 @@ func main() {
 		if am := allocsOp.FindStringSubmatch(m[4]); am != nil {
 			b.AllocsOp, _ = strconv.ParseFloat(am[1], 64)
 		}
-		out.Benchmarks = append(out.Benchmarks, b)
+		// Keep-last dedupe: a stabilization pass re-running headline
+		// benchmarks at a longer benchtime can be concatenated after the
+		// 1x sweep and its (better-sampled) numbers win.
+		replaced := false
+		for i := range out.Benchmarks {
+			if out.Benchmarks[i].Pkg == b.Pkg && out.Benchmarks[i].Name == b.Name {
+				out.Benchmarks[i] = b
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
 		if key, ok := highlightNames[b.Name]; ok {
 			out.Highlights[key] = b.NsPerOp
 		}
@@ -98,6 +115,19 @@ func main() {
 	if cold, ok := out.Highlights["plan_cold_ns"]; ok {
 		if warm, ok := out.Highlights["plan_warm_ns"]; ok && warm > 0 {
 			out.Highlights["plan_speedup_x"] = cold / warm
+		}
+	}
+	// Batch-pipeline headline: per-plan cost of warming a fleet
+	// sequentially vs through one WarmBatch (both sub-benchmarks run the
+	// same request list, so the ns/op ratio is the per-plan ratio).
+	if seq, ok := out.Highlights["warm_sequential_ns"]; ok {
+		if batch, ok := out.Highlights["warm_batch_ns"]; ok && batch > 0 {
+			out.Highlights["warm_batch_speedup_x"] = seq / batch
+		}
+	}
+	if full, ok := out.Highlights["skip_fullrank_ns"]; ok {
+		if topk, ok := out.Highlights["skip_topk_ns"]; ok && topk > 0 {
+			out.Highlights["skip_topk_speedup_x"] = full / topk
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)

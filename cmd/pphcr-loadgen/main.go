@@ -28,6 +28,7 @@ import (
 
 	"pphcr"
 	"pphcr/internal/feedback"
+	"pphcr/internal/pipeline"
 	"pphcr/internal/recommend"
 	"pphcr/internal/synth"
 	"pphcr/internal/trajectory"
@@ -36,6 +37,7 @@ import (
 // op kinds, in report order.
 const (
 	opPlan = iota
+	opPlanBatch
 	opFeedback
 	opFix
 	opRecommend
@@ -48,7 +50,7 @@ const (
 )
 
 var opNames = [numOps]string{
-	"plan", "feedback", "fix", "recommend", "prefs",
+	"plan", "plan-batch", "feedback", "fix", "recommend", "prefs",
 	"compact-track", "compact-feedback", "register", "ingest",
 }
 
@@ -81,6 +83,7 @@ func main() {
 		traceDays  = flag.Int("trace-days", 2, "commute days fed per driver before compaction")
 		userShards = flag.Int("user-shards", pphcr.DefaultUserShards, "per-user state shard count")
 		fbHorizon  = flag.Duration("feedback-horizon", 7*24*time.Hour, "compaction horizon for the compact-feedback op")
+		batchSize  = flag.Int("batch", 16, "users per plan-batch op (0 disables the batch workload)")
 	)
 	flag.Parse()
 
@@ -178,12 +181,23 @@ func main() {
 				}
 				d := drivers[rng.Intn(len(drivers))]
 				u := usersByName[rng.Intn(len(usersByName))]
-				op := pickOp(rng.Float64())
+				op := pickOp(rng.Float64(), *batchSize > 0)
 				t0 := time.Now()
 				switch op {
 				case opPlan:
 					if _, err := sys.PlanTrip(d.user, d.partial, d.planAt, nil); err != nil {
 						rejected.Add(1)
+					}
+				case opPlanBatch:
+					reqs := make([]pphcr.TripRequest, *batchSize)
+					for bi := range reqs {
+						bd := drivers[rng.Intn(len(drivers))]
+						reqs[bi] = pphcr.TripRequest{UserID: bd.user, Partial: bd.partial, Now: bd.planAt}
+					}
+					for _, res := range sys.PlanTripBatch(reqs) {
+						if res.Err != nil {
+							rejected.Add(1)
+						}
 					}
 				case opFeedback:
 					it := items[rng.Intn(len(items))]
@@ -245,6 +259,19 @@ func main() {
 	lock := sys.LockStats()
 	fb := sys.Feedback.Stats()
 	cache := sys.PlanCache.Stats()
+	ps := sys.PipelineStats()
+	fmt.Printf("\npipeline stages (batches=%d tasks=%d, avg %.1f tasks/batch):\n",
+		ps.Batches, ps.Tasks, float64(ps.Tasks)/float64(max(ps.Batches, 1)))
+	for _, row := range []struct {
+		name string
+		st   pipeline.StageStats
+	}{
+		{"predict", ps.Predict}, {"gate", ps.Gate}, {"candidates", ps.Candidates},
+		{"rank", ps.Rank}, {"allocate", ps.Allocate},
+	} {
+		fmt.Printf("  %-10s count=%-8d avg=%8.1fµs max=%8.1fµs\n",
+			row.name, row.st.Count, row.st.AvgMicros, row.st.MaxMicros)
+	}
 	fmt.Printf("\nlocks: shards=%d ops=%d contended=%d (%.3f%%)\n",
 		lock.Shards, lock.Ops, lock.Contended, 100*pct(lock.Contended, lock.Ops))
 	fmt.Printf("feedback index: users=%d live=%d compacted=%d index_reads=%d replay_reads=%d\n",
@@ -253,7 +280,12 @@ func main() {
 }
 
 // pickOp maps a uniform draw to an operation kind (the workload mix).
-func pickOp(r float64) int {
+// When batching is enabled a slice of the plan traffic arrives as
+// multi-user batch requests — the shape a fleet-side gateway produces.
+func pickOp(r float64, batch bool) int {
+	if batch && r < 0.10 {
+		return opPlanBatch
+	}
 	switch {
 	case r < 0.50:
 		return opPlan

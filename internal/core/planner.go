@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"pphcr/internal/content"
@@ -139,8 +140,17 @@ func (p *Planner) Plan(req Request) Plan {
 	if req.Ctx.DeltaT <= 0 || len(req.Candidates) == 0 {
 		return plan
 	}
-	ranked := p.Scorer.Rank(req.Prefs, req.Candidates, req.Ctx, 0)
-	if len(ranked) == 0 {
+	return p.Allocate(p.Scorer.Rank(req.Prefs, req.Candidates, req.Ctx, 0), req)
+}
+
+// Allocate is phase 2 after ranking: select the value-maximizing subset
+// of the already-ranked items that fits ΔT, then schedule it under
+// geographic deadlines and distraction windows. The pipeline's Rank
+// stage produces `ranked` (so ranking can be shared, batched and
+// top-k'd); Plan composes Scorer.Rank with Allocate for direct callers.
+func (p *Planner) Allocate(ranked []recommend.Scored, req Request) Plan {
+	plan := Plan{DeltaT: req.Ctx.DeltaT}
+	if req.Ctx.DeltaT <= 0 || len(ranked) == 0 {
 		return plan
 	}
 	selected := p.knapsack(ranked, req.Ctx.DeltaT)
@@ -162,6 +172,23 @@ func (p *Planner) Plan(req Request) Plan {
 	return plan
 }
 
+// knapCand is one knapsack entry; knapScratch recycles the DP buffers
+// between Plan/Allocate calls — the DP table dominated the allocator's
+// per-plan garbage.
+type knapCand struct {
+	sc     recommend.Scored
+	weight int
+	value  float64
+}
+
+type knapScratch struct {
+	dp    []float64
+	take  []bool
+	cands []knapCand
+}
+
+var knapPool = sync.Pool{New: func() any { return new(knapScratch) }}
+
 // knapsack selects the subset of ranked items maximizing
 // Σ compound×duration within the ΔT capacity (classic 0/1 DP over
 // SlotGranularity quanta).
@@ -174,31 +201,39 @@ func (p *Planner) knapsack(ranked []recommend.Scored, deltaT time.Duration) []re
 	if capacity <= 0 {
 		return nil
 	}
-	type cand struct {
-		sc     recommend.Scored
-		weight int
-		value  float64
-	}
-	cands := make([]cand, 0, len(ranked))
+	ks := knapPool.Get().(*knapScratch)
+	defer knapPool.Put(ks)
+	cands := ks.cands[:0]
 	for _, sc := range ranked {
 		w := int((sc.Item.Duration + gran - 1) / gran) // ceil
 		if w == 0 || w > capacity {
 			continue
 		}
-		cands = append(cands, cand{sc: sc, weight: w, value: sc.Compound * sc.Item.Duration.Seconds()})
+		cands = append(cands, knapCand{sc: sc, weight: w, value: sc.Compound * sc.Item.Duration.Seconds()})
 	}
+	ks.cands = cands[:0]
 	if len(cands) == 0 {
 		return nil
 	}
-	// dp[c] = best value at capacity c; take[i][c] = item i used at c.
-	dp := make([]float64, capacity+1)
-	take := make([][]bool, len(cands))
+	// dp[c] = best value at capacity c; take[i*(capacity+1)+c] = item i
+	// used at c (one flat recycled buffer instead of one slice per item).
+	stride := capacity + 1
+	if cap(ks.dp) < stride {
+		ks.dp = make([]float64, stride)
+	}
+	dp := ks.dp[:stride]
+	clear(dp)
+	if cap(ks.take) < len(cands)*stride {
+		ks.take = make([]bool, len(cands)*stride)
+	}
+	take := ks.take[:len(cands)*stride]
+	clear(take)
 	for i, c := range cands {
-		take[i] = make([]bool, capacity+1)
+		row := take[i*stride : (i+1)*stride]
 		for cap := capacity; cap >= c.weight; cap-- {
 			if v := dp[cap-c.weight] + c.value; v > dp[cap] {
 				dp[cap] = v
-				take[i][cap] = true
+				row[cap] = true
 			}
 		}
 	}
@@ -206,7 +241,7 @@ func (p *Planner) knapsack(ranked []recommend.Scored, deltaT time.Duration) []re
 	var out []recommend.Scored
 	cap := capacity
 	for i := len(cands) - 1; i >= 0; i-- {
-		if take[i][cap] {
+		if take[i*stride+cap] {
 			out = append(out, cands[i].sc)
 			cap -= cands[i].weight
 		}
@@ -214,29 +249,36 @@ func (p *Planner) knapsack(ranked []recommend.Scored, deltaT time.Duration) []re
 	return out
 }
 
+// routeCum returns the cumulative arc length at every route vertex —
+// computed once per schedule call instead of re-walking the route for
+// each scheduled item (cum[last] equals Route.Length() exactly: same
+// additions in the same order).
+func routeCum(route geo.Polyline) []float64 {
+	cum := make([]float64, len(route))
+	for i := 1; i < len(route); i++ {
+		cum[i] = cum[i-1] + geo.Distance(route[i-1], route[i])
+	}
+	return cum
+}
+
 // geoDeadline returns the offset at which the listener is predicted to
 // pass closest to the item's location, assuming uniform progress along
-// the remaining route over ΔT.
-func geoDeadline(it *content.Item, ctx recommend.Context) (time.Duration, bool) {
+// the remaining route over ΔT. cum is the route's cumulative arc length
+// (routeCum); the route vertices are RDP-simplified, so vertices are
+// where geometry changes and each is sampled for the minimum distance.
+func geoDeadline(it *content.Item, ctx recommend.Context, cum []float64) (time.Duration, bool) {
 	if it.Geo == nil || len(ctx.Route) < 2 || ctx.DeltaT <= 0 {
 		return 0, false
 	}
-	// Walk the route and find the fraction of arc length minimizing the
-	// distance to the item center, sampling each vertex (the routes are
-	// RDP-simplified, so vertices are where geometry changes).
-	total := ctx.Route.Length()
+	total := cum[len(cum)-1]
 	if total <= 0 {
 		return 0, false
 	}
 	bestFrac, bestDist := 0.0, math.Inf(1)
-	var walked float64
 	for i, pt := range ctx.Route {
-		if i > 0 {
-			walked += geo.Distance(ctx.Route[i-1], pt)
-		}
 		if d := geo.Distance(pt, it.Geo.Center); d < bestDist {
 			bestDist = d
-			bestFrac = walked / total
+			bestFrac = cum[i] / total
 		}
 	}
 	return time.Duration(bestFrac * float64(ctx.DeltaT)), true
@@ -254,8 +296,14 @@ func (p *Planner) schedule(selected []recommend.Scored, req Request, dropped []D
 		hasDeadline bool
 	}
 	slots := make([]slot, len(selected))
+	// Route arc lengths are only needed when a geo-scoped item made the
+	// selection — most plans are geo-free, so compute them lazily.
+	var cum []float64
 	for i, sc := range selected {
-		d, ok := geoDeadline(sc.Item, req.Ctx)
+		if cum == nil && sc.Item.Geo != nil && len(req.Ctx.Route) >= 2 {
+			cum = routeCum(req.Ctx.Route)
+		}
+		d, ok := geoDeadline(sc.Item, req.Ctx, cum)
 		slots[i] = slot{sc: sc, deadline: d, hasDeadline: ok}
 	}
 	sort.Slice(slots, func(i, j int) bool {

@@ -48,6 +48,7 @@ func NewServer(sys *pphcr.System) *Server {
 	s.mux.HandleFunc("/api/compact", s.handleCompact)
 	s.mux.HandleFunc("/api/recommendations", s.handleRecommendations)
 	s.mux.HandleFunc("/api/plan", s.handlePlan)
+	s.mux.HandleFunc("/api/plan/batch", s.handlePlanBatch)
 	s.mux.HandleFunc("/api/services", s.handleServices)
 	s.mux.HandleFunc("/api/schedule", s.handleSchedule)
 	s.mux.HandleFunc("/api/items/", s.handleItemByID)

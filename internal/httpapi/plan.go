@@ -42,49 +42,31 @@ type PlanView struct {
 	Served         string         `json:"served,omitempty"`
 	Items          []PlanItemView `json:"items"`
 	DroppedReasons []string       `json:"dropped_reasons,omitempty"`
+	// Error is set on batch members whose planning failed.
+	Error string `json:"error,omitempty"`
 }
 
-func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
-		return
+// trip converts the request payload into a PlanTrip(Batch) input.
+func (b PlanRequest) trip() (pphcr.TripRequest, error) {
+	if b.UserID == "" || len(b.Fixes) == 0 {
+		return pphcr.TripRequest{}, errors.New("user_id and fixes required")
 	}
-	var body PlanRequest
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad json: %w", err))
-		return
-	}
-	if body.UserID == "" || len(body.Fixes) == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("user_id and fixes required"))
-		return
-	}
-	partial := make(trajectory.Trace, len(body.Fixes))
-	for i, f := range body.Fixes {
+	partial := make(trajectory.Trace, len(b.Fixes))
+	for i, f := range b.Fixes {
 		partial[i] = trajectory.Fix{
 			Point: geo.Point{Lat: f.Lat, Lon: f.Lon},
 			Time:  time.Unix(f.Unix, 0).UTC(),
 		}
 	}
 	now := partial[len(partial)-1].Time
-	if body.NowUnix != 0 {
-		now = time.Unix(body.NowUnix, 0).UTC()
+	if b.NowUnix != 0 {
+		now = time.Unix(b.NowUnix, 0).UTC()
 	}
-	started := time.Now()
-	tp, err := s.sys.PlanTrip(body.UserID, partial, now, nil)
-	elapsed := time.Since(started)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	// Only plan-producing requests enter the latency aggregates: early
-	// declines (unrecognized trip, phase-1 negative) return in
-	// microseconds and would make the cold pipeline look free.
-	switch {
-	case tp.Source == pphcr.PlanSourceWarm:
-		s.warmLat.observe(elapsed)
-	case tp.Source == pphcr.PlanSourceCold && tp.Proactive:
-		s.coldLat.observe(elapsed)
-	}
+	return pphcr.TripRequest{UserID: b.UserID, Partial: partial, Now: now}, nil
+}
+
+// planView renders one TripPlan.
+func planView(tp *pphcr.TripPlan) PlanView {
 	view := PlanView{
 		Proactive:     tp.Proactive,
 		Reason:        tp.Reason,
@@ -110,5 +92,105 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		view.DroppedReasons = append(view.DroppedReasons,
 			fmt.Sprintf("%s: %s", d.Scored.Item.ID, d.Reason))
 	}
-	writeJSON(w, http.StatusOK, view)
+	return view
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var body PlanRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad json: %w", err))
+		return
+	}
+	req, err := body.trip()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	started := time.Now()
+	tp, err := s.sys.PlanTrip(req.UserID, req.Partial, req.Now, nil)
+	elapsed := time.Since(started)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Only plan-producing requests enter the latency aggregates: early
+	// declines (unrecognized trip, phase-1 negative) return in
+	// microseconds and would make the cold pipeline look free.
+	switch {
+	case tp.Source == pphcr.PlanSourceWarm:
+		s.warmLat.observe(elapsed)
+	case tp.Source == pphcr.PlanSourceCold && tp.Proactive:
+		s.coldLat.observe(elapsed)
+	}
+	writeJSON(w, http.StatusOK, planView(tp))
+}
+
+// maxBatchMembers bounds one /api/plan/batch request: a batch plans
+// synchronously on the handler goroutine, so an unbounded payload would
+// let one request monopolize the server.
+const maxBatchMembers = 1024
+
+// PlanBatchRequest is the batch-planning payload: many users' partial
+// traces planned through one pipeline batch.
+type PlanBatchRequest struct {
+	Requests []PlanRequest `json:"requests"`
+}
+
+// PlanBatchResponse is the positional batch response; a request that
+// failed carries its error in place of a plan.
+type PlanBatchResponse struct {
+	Plans []PlanView `json:"plans"`
+}
+
+func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var body PlanBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad json: %w", err))
+		return
+	}
+	if len(body.Requests) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("requests required"))
+		return
+	}
+	if len(body.Requests) > maxBatchMembers {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds the %d-member limit", len(body.Requests), maxBatchMembers))
+		return
+	}
+	valid := make([]pphcr.TripRequest, 0, len(body.Requests))
+	errs := make([]error, len(body.Requests))
+	for i, b := range body.Requests {
+		req, err := b.trip()
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		valid = append(valid, req)
+	}
+	results := s.sys.PlanTripBatch(valid)
+	resp := PlanBatchResponse{Plans: make([]PlanView, len(body.Requests))}
+	next := 0
+	for i := range body.Requests {
+		if errs[i] != nil {
+			resp.Plans[i] = PlanView{Error: errs[i].Error()}
+			continue
+		}
+		res := results[next]
+		next++
+		switch {
+		case res.Err != nil:
+			resp.Plans[i] = PlanView{Error: res.Err.Error()}
+		default:
+			resp.Plans[i] = planView(res.Plan)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

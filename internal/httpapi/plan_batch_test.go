@@ -1,0 +1,115 @@
+package httpapi
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestPlanBatchEndpoint drives /api/plan/batch with a mix of valid and
+// invalid members and checks that responses stay positional: member i's
+// plan (or error) answers request i regardless of its neighbors.
+func TestPlanBatchEndpoint(t *testing.T) {
+	ts, sys, w := newTestServer(t)
+	persona := w.Personas[0]
+	user := persona.Profile.UserID
+	if err := sys.RegisterUser(persona.Profile); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < w.Params.Days; d++ {
+		day := w.Params.StartDate.AddDate(0, 0, d)
+		if wd := day.Weekday(); wd == time.Saturday || wd == time.Sunday {
+			continue
+		}
+		for _, morning := range []bool{true, false} {
+			trace, _, err := w.CommuteTrace(persona, day, morning)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, fix := range trace {
+				if err := sys.RecordFix(user, fix); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if _, err := sys.CompactTracking(user); err != nil {
+		t.Fatal(err)
+	}
+	day := w.Params.StartDate.AddDate(0, 0, w.Params.Days)
+	for day.Weekday() == time.Saturday || day.Weekday() == time.Sunday {
+		day = day.AddDate(0, 0, 1)
+	}
+	full, _, err := w.CommuteTrace(persona, day, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fixes []TrackBody
+	for _, fix := range full {
+		if fix.Time.Sub(full[0].Time) > 3*time.Minute {
+			break
+		}
+		fixes = append(fixes, TrackBody{
+			UserID: user, Lat: fix.Point.Lat, Lon: fix.Point.Lon, Unix: fix.Time.Unix(),
+		})
+	}
+
+	batch := PlanBatchRequest{Requests: []PlanRequest{
+		{UserID: user, Fixes: fixes},
+		{UserID: ""},                        // invalid: no user, no fixes
+		{UserID: "ghost", Fixes: fixes[:1]}, // valid shape, no mobility model
+		{UserID: user, Fixes: fixes},
+	}}
+	resp := postJSON(t, ts.URL+"/api/plan/batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var view PlanBatchResponse
+	decode(t, resp, &view)
+	if len(view.Plans) != len(batch.Requests) {
+		t.Fatalf("plans = %d, want %d", len(view.Plans), len(batch.Requests))
+	}
+	if view.Plans[0].Error != "" || view.Plans[0].Confidence <= 0 {
+		t.Fatalf("member 0 should plan: %+v", view.Plans[0])
+	}
+	if view.Plans[1].Error == "" {
+		t.Fatal("member 1 should carry a validation error")
+	}
+	if view.Plans[2].Error == "" {
+		t.Fatal("member 2 should carry a no-mobility-model error")
+	}
+	if view.Plans[3].Error != "" || view.Plans[3].Destination != view.Plans[0].Destination {
+		t.Fatalf("member 3 should match member 0: %+v vs %+v", view.Plans[3], view.Plans[0])
+	}
+
+	// /stats reports the staged pipeline's counters after the batch.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsView
+	decode(t, sresp, &stats)
+	if stats.Pipeline.Tasks == 0 || stats.Pipeline.Batches == 0 {
+		t.Fatalf("pipeline counters empty: %+v", stats.Pipeline)
+	}
+	if stats.Pipeline.Rank.Count == 0 {
+		t.Fatalf("rank stage never observed: %+v", stats.Pipeline)
+	}
+}
+
+func TestPlanBatchEndpointValidation(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/api/plan/batch", PlanBatchRequest{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status = %d", resp.StatusCode)
+	}
+	resp2, err := http.Get(ts.URL + "/api/plan/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", resp2.StatusCode)
+	}
+}

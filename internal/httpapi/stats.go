@@ -8,6 +8,7 @@ import (
 
 	"pphcr"
 	"pphcr/internal/feedback"
+	"pphcr/internal/pipeline"
 	"pphcr/internal/plancache"
 )
 
@@ -57,6 +58,10 @@ type StatsView struct {
 		Warm LatencyView `json:"warm"`
 		Cold LatencyView `json:"cold"`
 	} `json:"plan"`
+	// Pipeline reports the staged planning pipeline's per-stage
+	// latency/count aggregates (predict, gate, candidates, rank,
+	// allocate) plus its batch amortization counters.
+	Pipeline pipeline.Stats  `json:"pipeline"`
 	Feedback feedback.Stats  `json:"feedback"`
 	Locks    pphcr.LockStats `json:"locks"`
 	Warmer   interface{}     `json:"warmer,omitempty"`
@@ -75,6 +80,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	view.Cache = s.sys.PlanCache.Stats()
 	view.Plan.Warm = s.warmLat.view()
 	view.Plan.Cold = s.coldLat.view()
+	view.Pipeline = s.sys.PipelineStats()
 	view.Feedback = s.sys.Feedback.Stats()
 	view.Locks = s.sys.LockStats()
 	if s.warmerStats != nil {

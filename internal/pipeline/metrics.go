@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stage indices for the metric aggregates.
+const (
+	StagePredict = iota
+	StageGate
+	StageCandidates
+	StageRank
+	StageAllocate
+	numStages
+)
+
+// stageAgg accumulates one stage's latency observations without locks;
+// the request path only pays three atomic adds per observation.
+type stageAgg struct {
+	count   atomic.Int64
+	totalNs atomic.Int64
+	maxNs   atomic.Int64
+}
+
+func (a *stageAgg) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	a.count.Add(1)
+	a.totalNs.Add(ns)
+	for {
+		cur := a.maxNs.Load()
+		if ns <= cur || a.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+func (a *stageAgg) view() StageStats {
+	s := StageStats{
+		Count:     a.count.Load(),
+		MaxMicros: float64(a.maxNs.Load()) / 1e3,
+	}
+	if s.Count > 0 {
+		s.AvgMicros = float64(a.totalNs.Load()) / float64(s.Count) / 1e3
+	}
+	return s
+}
+
+type metrics struct {
+	agg     [numStages]stageAgg
+	batches atomic.Int64
+	tasks   atomic.Int64
+}
+
+// StageStats is one stage's latency aggregate. Predict, Gate, Rank and
+// Allocate count per-task executions; Candidates counts per-batch
+// gathers (its cost is shared by every task in the batch — that is the
+// point of batching).
+type StageStats struct {
+	Count     int64   `json:"count"`
+	AvgMicros float64 `json:"avg_micros"`
+	MaxMicros float64 `json:"max_micros"`
+}
+
+// Stats snapshots the per-stage pipeline metrics.
+type Stats struct {
+	Predict    StageStats `json:"predict"`
+	Gate       StageStats `json:"gate"`
+	Candidates StageStats `json:"candidates"`
+	Rank       StageStats `json:"rank"`
+	Allocate   StageStats `json:"allocate"`
+	// Batches and Tasks count RunBatch invocations and the tasks they
+	// carried; Tasks/Batches is the effective amortization factor.
+	Batches int64 `json:"batches"`
+	Tasks   int64 `json:"tasks"`
+}
+
+// Stats snapshots the pipeline's stage metrics (reported on /stats and
+// by the load generator).
+func (p *Pipeline) Stats() Stats {
+	return Stats{
+		Predict:    p.m.agg[StagePredict].view(),
+		Gate:       p.m.agg[StageGate].view(),
+		Candidates: p.m.agg[StageCandidates].view(),
+		Rank:       p.m.agg[StageRank].view(),
+		Allocate:   p.m.agg[StageAllocate].view(),
+		Batches:    p.m.batches.Load(),
+		Tasks:      p.m.tasks.Load(),
+	}
+}

@@ -1,0 +1,283 @@
+// Package pipeline is the staged proactive-planning engine of the PPHCR
+// system. The paper's flow — trip prediction, the "should we interrupt"
+// gate, relevance ranking, ΔT schedule allocation — is modeled as five
+// explicit stages (Predict → Gate → Candidates → Rank → Allocate) in the
+// style of stream-pipeline systems (Aurora/Borealis dataflow operators,
+// SEDA's staged event-driven design): each stage is a first-class
+// operator with its own latency/count metrics, and the composition runs
+// one task or a whole batch of tasks through the same code path.
+//
+// Batching is where the stage split pays off: the Candidates stage
+// acquires the candidate window, featurizes every item (flat sorted
+// category vector, norm, freshness, the position-independent context
+// base) and builds a category→items inverted index ONCE per batch, and
+// memoizes each user's decayed preference vector, so per-task work
+// collapses to scoring only the items that share a category with the
+// user (exact under the ranking content floor: an item with no shared
+// category has zero cosine and is filtered either way).
+//
+// All five public entry points of the System (PlanTrip, WarmPlan,
+// Recommend, SkipLive, SkipClip) execute through a Pipeline, which is
+// what makes cold, warm and batch plans byte-identical: one gate, one
+// ranker, one allocator.
+package pipeline
+
+import (
+	"time"
+
+	"pphcr/internal/content"
+	"pphcr/internal/core"
+	"pphcr/internal/distraction"
+	"pphcr/internal/plancache"
+	"pphcr/internal/predict"
+	"pphcr/internal/recommend"
+	"pphcr/internal/tracking"
+	"pphcr/internal/trajectory"
+)
+
+// Mode selects which stages a task runs through.
+type Mode int
+
+// Task modes.
+const (
+	// ModeLive is the full proactive flow for a trip in progress:
+	// Predict (from the partial trace) → Gate → Candidates (with
+	// warm-cache short-circuit) → Rank → Allocate.
+	ModeLive Mode = iota
+	// ModeWarm is the precompute flow for an anticipated trip: Predict
+	// (reconstructed from the mobility model) → Gate → Candidates →
+	// Rank → Allocate; the cache is never consulted (the warmer is the
+	// writer, not a reader).
+	ModeWarm
+	// ModeRank is the reactive flow (Recommend, skip replacement): the
+	// caller supplies the context, only Candidates → Rank run.
+	ModeRank
+)
+
+// Plan sources.
+const (
+	SourceCold = "cold"
+	SourceWarm = "warm"
+)
+
+// Task is one request flowing through the pipeline. Inputs are set by
+// the caller according to Mode; stages fill the outputs.
+type Task struct {
+	Mode Mode
+	User string
+	// Now is the planning instant (the anticipated departure for
+	// ModeWarm).
+	Now time.Time
+
+	// ModeLive inputs.
+	Partial  trajectory.Trace
+	Timeline *distraction.Timeline
+
+	// ModeWarm inputs.
+	From, Dest predict.PlaceID
+	Prob       float64
+
+	// ModeRank inputs: Ctx is the caller's context, K bounds the ranked
+	// list (0 = all), Exclude drops items by ID before ranking (the
+	// skip paths pass the user's skipped-item set).
+	K       int
+	Exclude map[string]bool
+
+	// Ctx is the recommendation context: an input for ModeRank, derived
+	// by the Predict stage otherwise.
+	Ctx recommend.Context
+
+	// Outputs.
+	Prediction predict.Prediction
+	// Recognized reports whether the Predict stage matched the partial
+	// trace to a known trip (always true for ModeWarm successes).
+	Recognized bool
+	Proactive  bool
+	Reason     string
+	Ranked     []recommend.Scored
+	Plan       core.Plan
+	// Source records how the plan was produced: SourceCold when the
+	// stages ran, SourceWarm when the Candidates stage served a
+	// precomputed plan (or the task is a warming task).
+	Source string
+	Err    error
+
+	// CacheKey/CacheVer identify where and under which invalidation
+	// version a produced plan may be stored; Cacheable is set by the
+	// Allocate stage when the plan qualifies. The System performs the
+	// actual store (the cached value is its TripPlan).
+	CacheKey  plancache.Key
+	CacheVer  plancache.Version
+	Cacheable bool
+
+	done      bool
+	prefs     map[string]float64
+	fp        *userPrefs
+	set       *candSet
+	rankedBuf *[]recommend.Scored
+}
+
+// skip reports whether later stages should ignore the task.
+func (t *Task) skip() bool { return t.done || t.Err != nil }
+
+// CachedPlan is implemented by values stored in the plan cache; the
+// Candidates stage uses it to judge and serve warm entries without
+// knowing the owner's concrete plan type.
+type CachedPlan interface {
+	// CachedPlan returns the scheduled plan and the instant it was
+	// computed for (the logical-time freshness anchor).
+	CachedPlan() (core.Plan, time.Time)
+}
+
+// Stage interfaces. Predict, Gate, Rank and Allocate are per-task
+// operators; Candidates is batch-scoped so implementations can acquire
+// shared inputs once per batch.
+
+// Predict derives the trip prediction and recommendation context.
+type Predict interface {
+	Predict(b *Batch, t *Task)
+}
+
+// Gate is proactivity phase 1: whether to recommend at all.
+type Gate interface {
+	Gate(b *Batch, t *Task)
+}
+
+// Candidates prepares the shared ranking inputs for a batch (candidate
+// window, item features, preference vectors) and may short-circuit
+// tasks from the warm-plan cache. Release returns pooled resources
+// after the batch completes.
+type Candidates interface {
+	Gather(b *Batch)
+	Release(b *Batch)
+}
+
+// Rank produces the ordered relevance list for one task.
+type Rank interface {
+	Rank(b *Batch, t *Task)
+}
+
+// Allocate is proactivity phase 2 after ranking: fit the ranked items
+// into ΔT under deadlines and distraction windows.
+type Allocate interface {
+	Allocate(b *Batch, t *Task)
+}
+
+// Deps wires a default stage set to its owning system.
+type Deps struct {
+	// Mobility returns the user's compacted mobility model.
+	Mobility func(user string) (*tracking.CompactModel, bool)
+	// Preferences returns the user's decayed preference vector at now.
+	Preferences func(user string, now time.Time) map[string]float64
+	// AppendCandidates appends the items published since the cut to dst.
+	AppendCandidates func(dst []*content.Item, since time.Time) []*content.Item
+	// CandidateWindow bounds the candidate lookback.
+	CandidateWindow time.Duration
+	// Cache, when non-nil, is consulted by ModeLive tasks and versions
+	// produced plans.
+	Cache *plancache.Cache
+	// Planner gates (phase 1) and allocates (phase 2).
+	Planner *core.Planner
+	// Scorer computes the compound relevance.
+	Scorer *recommend.Scorer
+}
+
+// Pipeline composes the five stages. Fields may be replaced before
+// first use to substitute custom operators.
+type Pipeline struct {
+	Predict    Predict
+	Gate       Gate
+	Candidates Candidates
+	Rank       Rank
+	Allocate   Allocate
+
+	m metrics
+}
+
+// New builds a pipeline with the default stage implementations, which
+// share one set of recycled buffers.
+func New(deps Deps) *Pipeline {
+	po := &pools{}
+	return &Pipeline{
+		Predict:    &mobilityPredict{deps: deps},
+		Gate:       &plannerGate{deps: deps},
+		Candidates: &cacheCandidates{deps: deps, po: po},
+		Rank:       &indexRank{deps: deps, po: po},
+		Allocate:   &plannerAllocate{deps: deps, po: po},
+	}
+}
+
+// Batch carries the shared state of one RunBatch call. Stage
+// implementations reach the per-batch caches through it.
+type Batch struct {
+	// Tasks are the batch members, in submission order.
+	Tasks []*Task
+
+	sets     []*candSet
+	prefs    map[prefsKey]*userPrefs
+	matchBuf []int32
+}
+
+type prefsKey struct {
+	user string
+	now  int64
+}
+
+// Run executes one task through the pipeline (a single-task batch).
+func (p *Pipeline) Run(t *Task) {
+	var one [1]*Task
+	one[0] = t
+	p.RunBatch(one[:])
+}
+
+// RunBatch executes every task through the staged flow. Stages run in
+// order with the Candidates stage invoked once for the whole batch, so
+// candidate acquisition, item featurization and per-user preference
+// reads are amortized across tasks. Tasks are independent: a task that
+// errors or short-circuits (gate decline, warm-cache hit) is skipped by
+// later stages without affecting its neighbors.
+func (p *Pipeline) RunBatch(tasks []*Task) {
+	if len(tasks) == 0 {
+		return
+	}
+	b := &Batch{Tasks: tasks, prefs: make(map[prefsKey]*userPrefs, len(tasks))}
+	p.m.batches.Add(1)
+	p.m.tasks.Add(int64(len(tasks)))
+
+	for _, t := range tasks {
+		if t.Mode == ModeRank || t.skip() {
+			continue
+		}
+		start := time.Now()
+		p.Predict.Predict(b, t)
+		p.m.agg[StagePredict].observe(time.Since(start))
+	}
+	for _, t := range tasks {
+		if t.Mode == ModeRank || t.skip() {
+			continue
+		}
+		start := time.Now()
+		p.Gate.Gate(b, t)
+		p.m.agg[StageGate].observe(time.Since(start))
+	}
+	start := time.Now()
+	p.Candidates.Gather(b)
+	p.m.agg[StageCandidates].observe(time.Since(start))
+	for _, t := range tasks {
+		if t.skip() {
+			continue
+		}
+		start := time.Now()
+		p.Rank.Rank(b, t)
+		p.m.agg[StageRank].observe(time.Since(start))
+	}
+	for _, t := range tasks {
+		if t.Mode == ModeRank || t.skip() {
+			continue
+		}
+		start := time.Now()
+		p.Allocate.Allocate(b, t)
+		p.m.agg[StageAllocate].observe(time.Since(start))
+	}
+	p.Candidates.Release(b)
+}

@@ -1,0 +1,572 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"pphcr/internal/content"
+	"pphcr/internal/core"
+	"pphcr/internal/distraction"
+	"pphcr/internal/geo"
+	"pphcr/internal/plancache"
+	"pphcr/internal/predict"
+	"pphcr/internal/recommend"
+)
+
+// pools are the pipeline-owned recycled buffers shared by the default
+// stages: candidate feature sets (one per distinct planning instant per
+// batch) and ranked-score slices (plan-mode tasks only — ModeRank hands
+// its slice to the caller).
+type pools struct {
+	sets   sync.Pool // *candSet
+	scored sync.Pool // *[]recommend.Scored
+	prefs  sync.Pool // *userPrefs
+}
+
+// ---- Predict ---------------------------------------------------------
+
+// mobilityPredict derives the trip prediction and context from the
+// user's compacted mobility model: live tasks match the partial trace
+// (PredictTrip), warm tasks reconstruct the anticipated trip (expected
+// route, median travel time, implied speed) — exactly the information a
+// live request would derive at trip start.
+type mobilityPredict struct {
+	deps Deps
+}
+
+func (s *mobilityPredict) Predict(b *Batch, t *Task) {
+	// The invalidation version is captured before ANY ranking input —
+	// including the mobility model — is sampled, so a concurrent
+	// re-compaction or feedback event marks the produced plan stale
+	// instead of letting it masquerade as fresh.
+	if s.deps.Cache != nil {
+		t.CacheVer = s.deps.Cache.Snapshot(t.User)
+	}
+	cm, ok := s.deps.Mobility(t.User)
+	if !ok {
+		t.Err = fmt.Errorf("pphcr: no mobility model for %q (run CompactTracking)", t.User)
+		return
+	}
+	m := cm.Mobility
+	switch t.Mode {
+	case ModeLive:
+		if len(t.Partial) == 0 {
+			t.Err = errors.New("pphcr: empty partial trace")
+			return
+		}
+		pred, ok := m.PredictTrip(t.Partial, t.Now)
+		if !ok {
+			t.Reason = "trip not recognized"
+			t.done = true
+			return
+		}
+		t.Recognized = true
+		t.Prediction = pred
+		t.Source = SourceCold
+		t.Ctx = recommend.Context{
+			Now:      t.Now,
+			Position: t.Partial[len(t.Partial)-1].Point,
+			Route:    pred.Route,
+			SpeedMS:  t.Partial.AverageSpeed(),
+			DeltaT:   pred.DeltaT,
+			Driving:  true,
+		}
+		t.CacheKey = plancache.Key{User: t.User, Dest: pred.Dest, Bucket: predict.BucketOf(t.Now)}
+	case ModeWarm:
+		median, mad, ok := m.TravelTime(t.From, t.Dest)
+		if !ok {
+			t.Err = fmt.Errorf("pphcr: no travel history %d→%d for %q", t.From, t.Dest, t.User)
+			return
+		}
+		route, _ := m.ExpectedRoute(t.From, t.Dest)
+		var pos geo.Point
+		switch {
+		case len(route) > 0:
+			pos = route[0]
+		case int(t.From) >= 0 && int(t.From) < len(m.Places()):
+			pos = m.Places()[t.From].Center
+		}
+		var speed float64
+		if len(route) >= 2 && median > 0 {
+			if rl, ok := m.RouteLength(t.From, t.Dest); ok {
+				speed = rl / median.Seconds()
+			}
+		}
+		// Plan to a robust lower bound of the travel time, not the
+		// median: a live request arrives a little after trip start with
+		// slightly less ΔT remaining, and a plan filled to the median
+		// would fail its fit check exactly when it is wanted most.
+		// median−MAD (clamped to half the median) absorbs that slack.
+		deltaT := median - mad
+		if deltaT < median/2 {
+			deltaT = median / 2
+		}
+		t.Recognized = true
+		t.Source = SourceWarm
+		t.Prediction = predict.Prediction{
+			From: t.From, Dest: t.Dest,
+			Confidence: t.Prob,
+			DeltaT:     median, DeltaTMAD: mad,
+			Route: route,
+		}
+		t.Ctx = recommend.Context{
+			Now:      t.Now,
+			Position: pos,
+			Route:    route,
+			SpeedMS:  speed,
+			DeltaT:   deltaT,
+			Driving:  true,
+		}
+		t.CacheKey = plancache.Key{User: t.User, Dest: t.Dest, Bucket: predict.BucketOf(t.Now)}
+	}
+}
+
+// ---- Gate ------------------------------------------------------------
+
+// plannerGate is proactivity phase 1. Live and warm tasks build the
+// SAME core.Situation here — the single shared construction that
+// replaces the hand-rolled copies the entry points used to carry (which
+// had already drifted once).
+type plannerGate struct {
+	deps Deps
+}
+
+func (s *plannerGate) Gate(b *Batch, t *Task) {
+	var tl distraction.Timeline
+	if t.Timeline != nil {
+		tl = *t.Timeline
+	}
+	t.Proactive, t.Reason = s.deps.Planner.ShouldRecommend(core.Situation{
+		Ctx:            t.Ctx,
+		TripConfidence: t.Prediction.Confidence,
+		Distraction:    tl,
+	})
+	if !t.Proactive {
+		t.done = true
+	}
+}
+
+// ---- Candidates ------------------------------------------------------
+
+// catWeight is one (category, weight) coordinate of a sparse vector,
+// kept in category-sorted slices so dot products are deterministic
+// merge joins instead of randomized map walks.
+type catWeight struct {
+	cat string
+	w   float64
+}
+
+// itemFeat is the per-batch featurization of one candidate item: its
+// sorted category vector (a window into the set's arena), the vector
+// norm, the freshness multiplier at the batch instant and the
+// position-independent context base. Everything here depends only on
+// (item, now), so it is computed at most once per batch — and lazily:
+// the build pass only flattens categories and fills the inverted index,
+// while the norm/freshness/context terms are computed on an item's
+// first match, so tasks with narrow preference vectors never pay for
+// the items they cannot rank.
+type itemFeat struct {
+	catsOff  int32
+	catsLen  int32
+	ready    bool
+	sqrtNorm float64
+	fresh    float64
+	ctxBase  float64
+}
+
+// candSet is the shared candidate state for one planning instant within
+// a batch: the candidate window, item features, and the category→items
+// inverted index that lets a task score only the items overlapping its
+// preference vector. Exact under the ranking content floor: an item
+// sharing no category with the user has zero cosine and is dropped by
+// the floor either way.
+type candSet struct {
+	now      time.Time
+	items    []*content.Item
+	feats    []itemFeat
+	catArena []catWeight
+	index    map[string][]int32
+	mark     []int32
+	epoch    int32
+}
+
+func (s *candSet) cats(f *itemFeat) []catWeight {
+	return s.catArena[f.catsOff : f.catsOff+f.catsLen]
+}
+
+// userPrefs is the per-batch memo of one user's decayed preference
+// vector: the map (handed to the allocator), its sorted flat form and
+// the precomputed √norm of the user side of the cosine.
+type userPrefs struct {
+	prefs  map[string]float64
+	flat   []catWeight
+	sqrtNa float64
+}
+
+// cacheCandidates is the default Candidates stage: warm-plan cache
+// short-circuit for live tasks, then one candidate acquisition +
+// featurization per distinct planning instant and one preference read
+// per (user, instant).
+type cacheCandidates struct {
+	deps Deps
+	po   *pools
+}
+
+// planFits reports whether every scheduled item still completes within
+// the live ΔT — the usability test for serving a cached plan.
+func planFits(p core.Plan, deltaT time.Duration) bool {
+	for _, it := range p.Items {
+		if it.StartOffset+it.Scored.Item.Duration > deltaT {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *cacheCandidates) Gather(b *Batch) {
+	for _, t := range b.Tasks {
+		if t.skip() {
+			continue
+		}
+		// Live fast path: a plan precomputed for this (user, destination,
+		// time bucket) is served as-is when it still fits the live ΔT and
+		// was computed near the request in *logical* time — callers drive
+		// the pipeline with simulated clocks, so the wall-clock TTL alone
+		// would happily serve a plan from a previous simulated day.
+		// Requests carrying a distraction timeline bypass the cache
+		// entirely — warm plans are scheduled without transition
+		// constraints.
+		if t.Mode == ModeLive && t.Timeline == nil && s.deps.Cache != nil {
+			if v, ok := s.deps.Cache.GetIf(t.CacheKey, func(v any) bool {
+				cp, ok := v.(CachedPlan)
+				if !ok {
+					return false
+				}
+				plan, at := cp.CachedPlan()
+				age := t.Now.Sub(at)
+				if age < 0 {
+					age = -age
+				}
+				return age <= s.deps.Cache.TTL() && planFits(plan, t.Prediction.DeltaT)
+			}); ok {
+				t.Plan, _ = v.(CachedPlan).CachedPlan()
+				t.Source = SourceWarm
+				t.done = true
+				continue
+			}
+		}
+		t.set = b.setFor(s, t.Now)
+		t.fp = b.prefsFor(s, t.User, t.Now)
+		t.prefs = t.fp.prefs
+	}
+}
+
+// setFor returns the batch's candidate set for the instant, building it
+// on first use. Batches rarely span more than a handful of instants, so
+// the lookup is a linear scan.
+func (b *Batch) setFor(s *cacheCandidates, now time.Time) *candSet {
+	for _, set := range b.sets {
+		if set.now.Equal(now) {
+			return set
+		}
+	}
+	set, _ := s.po.sets.Get().(*candSet)
+	if set == nil {
+		set = &candSet{index: make(map[string][]int32)}
+	}
+	s.build(set, now)
+	b.sets = append(b.sets, set)
+	return set
+}
+
+// build acquires the candidate window and featurizes it: flat sorted
+// category vectors (deterministic dot products), norms, freshness,
+// context base, and the category→items inverted index.
+func (s *cacheCandidates) build(set *candSet, now time.Time) {
+	set.now = now
+	set.items = s.deps.AppendCandidates(set.items[:0], now.Add(-s.deps.CandidateWindow))
+	set.catArena = set.catArena[:0]
+	if cap(set.feats) < len(set.items) {
+		set.feats = make([]itemFeat, len(set.items))
+	} else {
+		set.feats = set.feats[:len(set.items)]
+	}
+	for cat, idxs := range set.index {
+		set.index[cat] = idxs[:0]
+	}
+	// mark carries dedup epochs across reuses: epochs only grow, so
+	// stale stamps never collide with a fresh epoch.
+	if cap(set.mark) < len(set.items) {
+		grown := make([]int32, len(set.items))
+		copy(grown, set.mark)
+		set.mark = grown
+	} else {
+		set.mark = set.mark[:len(set.items)]
+	}
+	for i, it := range set.items {
+		off := int32(len(set.catArena))
+		for cat, w := range it.Categories {
+			set.catArena = append(set.catArena, catWeight{cat: cat, w: w})
+		}
+		seg := set.catArena[off:]
+		// Insertion sort: category vectors are tiny (the classifier
+		// prunes to a handful of posteriors).
+		for j := 1; j < len(seg); j++ {
+			for k := j; k > 0 && seg[k].cat < seg[k-1].cat; k-- {
+				seg[k], seg[k-1] = seg[k-1], seg[k]
+			}
+		}
+		set.feats[i] = itemFeat{catsOff: off, catsLen: int32(len(seg))}
+		for _, cw := range seg {
+			set.index[cw.cat] = append(set.index[cw.cat], int32(i))
+		}
+	}
+}
+
+// featurize fills the lazily computed terms of one item's features.
+func (s *indexRank) featurize(set *candSet, idx int32) *itemFeat {
+	f := &set.feats[idx]
+	if f.ready {
+		return f
+	}
+	it := set.items[idx]
+	var nb float64
+	for _, cw := range set.cats(f) {
+		nb += cw.w * cw.w
+	}
+	if nb > 0 {
+		f.sqrtNorm = math.Sqrt(nb)
+	}
+	f.fresh = s.deps.Scorer.FreshnessFactor(it, set.now)
+	f.ctxBase = s.deps.Scorer.ContextBase(it, recommend.Context{Now: set.now})
+	f.ready = true
+	return f
+}
+
+// prefsFor returns the batch's preference memo for (user, now),
+// reading and flattening the vector on first use.
+func (b *Batch) prefsFor(s *cacheCandidates, user string, now time.Time) *userPrefs {
+	key := prefsKey{user: user, now: now.UnixNano()}
+	if fp, ok := b.prefs[key]; ok {
+		return fp
+	}
+	fp, _ := s.po.prefs.Get().(*userPrefs)
+	if fp == nil {
+		fp = &userPrefs{}
+	}
+	fp.prefs = s.deps.Preferences(user, now)
+	fp.flat = fp.flat[:0]
+	for cat, w := range fp.prefs {
+		fp.flat = append(fp.flat, catWeight{cat: cat, w: w})
+	}
+	// Insertion sort: preference vectors are small and sort.Slice's
+	// closure indirection shows up on the skip hot path.
+	flat := fp.flat
+	for j := 1; j < len(flat); j++ {
+		for k := j; k > 0 && flat[k].cat < flat[k-1].cat; k-- {
+			flat[k], flat[k-1] = flat[k-1], flat[k]
+		}
+	}
+	fp.sqrtNa = 0
+	var na float64
+	for _, cw := range fp.flat {
+		na += cw.w * cw.w
+	}
+	if na > 0 {
+		fp.sqrtNa = math.Sqrt(na)
+	}
+	b.prefs[key] = fp
+	return fp
+}
+
+func (s *cacheCandidates) Release(b *Batch) {
+	for _, set := range b.sets {
+		s.po.sets.Put(set)
+	}
+	b.sets = nil
+	for _, fp := range b.prefs {
+		fp.prefs = nil
+		s.po.prefs.Put(fp)
+	}
+	b.prefs = nil
+	for _, t := range b.Tasks {
+		t.set = nil
+		t.fp = nil
+	}
+}
+
+// ---- Rank ------------------------------------------------------------
+
+// indexRank is the default Rank stage: union the inverted-index
+// postings of the user's preference categories, score each matched item
+// with a deterministic merge-join cosine over the precomputed features,
+// filter by the content floor, and order by (compound desc, ID asc) —
+// through a bounded top-k heap when the task asks for k items (the skip
+// hot path asks for one).
+type indexRank struct {
+	deps Deps
+	po   *pools
+}
+
+// mergeDot is the sparse dot product of two category-sorted vectors.
+func mergeDot(a, b []catWeight) float64 {
+	var dot float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].cat == b[j].cat:
+			dot += a[i].w * b[j].w
+			i++
+			j++
+		case a[i].cat < b[j].cat:
+			i++
+		default:
+			j++
+		}
+	}
+	return dot
+}
+
+// worse is the inverse ranking order: true when x ranks strictly below
+// y. Ranking order is (compound desc, ID asc), a total order, so heap
+// selection and sort+truncate agree item for item.
+func worse(x, y recommend.Scored) bool {
+	if x.Compound != y.Compound {
+		return x.Compound < y.Compound
+	}
+	return x.Item.ID > y.Item.ID
+}
+
+func (s *indexRank) Rank(b *Batch, t *Task) {
+	set := t.set
+	if set == nil {
+		return
+	}
+	var out []recommend.Scored
+	if t.Mode != ModeRank {
+		// Plan-mode ranked slices are recycled by the Allocate stage;
+		// ModeRank results are handed to the caller and stay fresh.
+		bp, _ := s.po.scored.Get().(*[]recommend.Scored)
+		if bp == nil {
+			bp = new([]recommend.Scored)
+		}
+		t.rankedBuf = bp
+		out = (*bp)[:0]
+	}
+
+	// Matched candidates: items sharing at least one category with the
+	// preference vector, deduplicated with the set's epoch marks.
+	set.epoch++
+	matched := b.matchBuf[:0]
+	for _, cw := range t.fp.flat {
+		for _, idx := range set.index[cw.cat] {
+			if set.mark[idx] != set.epoch {
+				set.mark[idx] = set.epoch
+				matched = append(matched, idx)
+			}
+		}
+	}
+
+	richCtx := t.Ctx.Weather != recommend.WeatherUnknown || t.Ctx.Activity != recommend.ActivityUnknown
+	sqrtNa := t.fp.sqrtNa
+	for _, idx := range matched {
+		it := set.items[idx]
+		if t.Exclude != nil && t.Exclude[it.ID] {
+			continue
+		}
+		f := s.featurize(set, idx)
+		dot := mergeDot(t.fp.flat, set.cats(f))
+		if dot <= 0 || sqrtNa == 0 || f.sqrtNorm == 0 {
+			continue // cos ≤ 0: actively disliked or disjoint
+		}
+		contentScore := dot / sqrtNa / f.sqrtNorm * f.fresh
+		if contentScore < recommend.ContentFloor {
+			continue
+		}
+		var ctxScore float64
+		if richCtx {
+			ctxScore = s.deps.Scorer.ContextScore(it, t.Ctx)
+		} else {
+			ctxScore = 0.5*s.deps.Scorer.GeoScore(it, t.Ctx) + f.ctxBase
+		}
+		sc := recommend.Scored{
+			Item:     it,
+			Content:  contentScore,
+			Context:  ctxScore,
+			Compound: s.deps.Scorer.Compound(contentScore, ctxScore),
+		}
+		if t.K > 0 && len(out) >= t.K {
+			// Bounded min-heap: out[0] is the worst of the current top k;
+			// a better candidate replaces it and sifts down.
+			if worse(sc, out[0]) {
+				continue
+			}
+			out[0] = sc
+			siftDown(out, 0)
+			continue
+		}
+		out = append(out, sc)
+		if t.K > 0 && len(out) == t.K {
+			for i := len(out)/2 - 1; i >= 0; i-- {
+				siftDown(out, i)
+			}
+		}
+	}
+	b.matchBuf = matched[:0]
+	sort.Slice(out, func(i, j int) bool { return worse(out[j], out[i]) })
+	t.Ranked = out
+}
+
+// siftDown restores the worst-at-root heap property from index i.
+func siftDown(h []recommend.Scored, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && worse(h[l], h[m]) {
+			m = l
+		}
+		if r < len(h) && worse(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// ---- Allocate --------------------------------------------------------
+
+// plannerAllocate is proactivity phase 2: fit the ranked list into ΔT
+// (knapsack + deadline/distraction scheduling) through the shared core
+// planner, and mark the plan cacheable when it qualifies.
+type plannerAllocate struct {
+	deps Deps
+	po   *pools
+}
+
+func (s *plannerAllocate) Allocate(b *Batch, t *Task) {
+	t.Plan = s.deps.Planner.Allocate(t.Ranked, core.Request{
+		Prefs:       t.prefs,
+		Ctx:         t.Ctx,
+		Distraction: t.Timeline,
+	})
+	// Warm tasks always cache a non-empty plan; live tasks only when no
+	// distraction timeline constrained the schedule (warm serves are
+	// schedule-unconstrained).
+	if len(t.Plan.Items) > 0 && (t.Mode == ModeWarm || t.Timeline == nil) {
+		t.Cacheable = true
+	}
+	// The plan copied everything it keeps; recycle the ranked slice.
+	if t.rankedBuf != nil {
+		*t.rankedBuf = t.Ranked[:0]
+		s.po.scored.Put(t.rankedBuf)
+		t.rankedBuf = nil
+	}
+	t.Ranked = nil
+}

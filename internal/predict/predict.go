@@ -75,6 +75,16 @@ type Model struct {
 	durations map[[2]PlaceID][]time.Duration
 	// routes[from][to] = stored route samples (most recent last)
 	routes map[[2]PlaceID][]geo.Polyline
+	// stats[from][to] = travel statistics precomputed at build time: the
+	// model is immutable, so the per-pair medians and route length are
+	// computed once here instead of re-sorting/re-walking on every
+	// TravelTime/RouteLength call (the warm-planning hot path).
+	stats map[[2]PlaceID]pairStats
+}
+
+type pairStats struct {
+	median, mad time.Duration
+	routeLen    float64
 }
 
 // BuildModel constructs a mobility model from staying points and trip
@@ -114,6 +124,24 @@ func BuildModel(places []trajectory.StayPoint, trips []TripRecord, matchRadiusMe
 	}
 	for _, ds := range m.durations {
 		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	}
+	m.stats = make(map[[2]PlaceID]pairStats, len(m.durations))
+	for key, ds := range m.durations {
+		median := ds[len(ds)/2]
+		devs := make([]time.Duration, len(ds))
+		for i, d := range ds {
+			dev := d - median
+			if dev < 0 {
+				dev = -dev
+			}
+			devs[i] = dev
+		}
+		sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+		st := pairStats{median: median, mad: devs[len(devs)/2]}
+		if rs := m.routes[key]; len(rs) > 0 {
+			st.routeLen = rs[len(rs)-1].Length()
+		}
+		m.stats[key] = st
 	}
 	return m
 }
@@ -189,23 +217,24 @@ func (m *Model) PredictDestination(from PlaceID, at time.Time) []DestinationCand
 
 // TravelTime returns robust travel-time statistics for the (from, to)
 // pair: the median and the median absolute deviation, both zero when the
-// pair has no history.
+// pair has no history. Served from the build-time precomputation.
 func (m *Model) TravelTime(from, to PlaceID) (median, mad time.Duration, ok bool) {
-	ds := m.durations[[2]PlaceID{from, to}]
-	if len(ds) == 0 {
+	st, ok := m.stats[[2]PlaceID{from, to}]
+	if !ok {
 		return 0, 0, false
 	}
-	median = ds[len(ds)/2]
-	devs := make([]time.Duration, len(ds))
-	for i, d := range ds {
-		dev := d - median
-		if dev < 0 {
-			dev = -dev
-		}
-		devs[i] = dev
+	return st.median, st.mad, true
+}
+
+// RouteLength returns the arc length of the pair's expected route,
+// precomputed at build time (it equals ExpectedRoute(...).Length()); ok
+// is false when no route sample exists.
+func (m *Model) RouteLength(from, to PlaceID) (float64, bool) {
+	st, ok := m.stats[[2]PlaceID{from, to}]
+	if !ok || st.routeLen == 0 {
+		return 0, false
 	}
-	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
-	return median, devs[len(devs)/2], true
+	return st.routeLen, true
 }
 
 // ExpectedRoute returns the most recent stored route sample for the pair.

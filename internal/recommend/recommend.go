@@ -80,20 +80,8 @@ func (s *Scorer) ContentScore(prefs map[string]float64, it *content.Item, now ti
 	if cos <= 0 {
 		return 0
 	}
-	age := now.Sub(it.Published)
-	if age < 0 {
-		age = 0
-	}
-	halfLife := s.FreshnessHalfLife
-	if halfLife <= 0 {
-		halfLife = 36 * time.Hour
-	}
-	// News rots twice as fast as evergreen clips.
-	if it.Kind == content.KindNews {
-		halfLife /= 2
-	}
-	freshness := math.Exp2(-age.Hours() / halfLife.Hours())
-	return cos * (0.5 + 0.5*freshness)
+	// News rots twice as fast as evergreen clips (see FreshnessFactor).
+	return cos * s.FreshnessFactor(it, now)
 }
 
 // ContextScore is the context-based relevance of the item for the
@@ -105,6 +93,43 @@ func (s *Scorer) ContextScore(it *content.Item, ctx Context) float64 {
 		0.2*timeOfDayScore(it.Kind, ctx.Now) +
 		0.15*weatherScore(it, ctx.Weather) +
 		0.15*activityScore(it, ctx.Activity)
+}
+
+// ContextBase is the position-independent part of the context relevance:
+// time-of-day, weather and activity affinity. It depends only on the
+// item and the (now, weather, activity) triple, so the staged pipeline
+// precomputes it once per batch and adds the geographic term per task:
+// GeoScore·0.5 + ContextBase composes the same signals as ContextScore.
+func (s *Scorer) ContextBase(it *content.Item, ctx Context) float64 {
+	return 0.2*timeOfDayScore(it.Kind, ctx.Now) +
+		0.15*weatherScore(it, ctx.Weather) +
+		0.15*activityScore(it, ctx.Activity)
+}
+
+// GeoScore exposes the geographic relevance term for stage
+// implementations that assemble the context score incrementally.
+func (s *Scorer) GeoScore(it *content.Item, ctx Context) float64 {
+	return s.geoScore(it, ctx)
+}
+
+// FreshnessFactor is the content-score freshness multiplier for an item
+// at instant now — the (0.5 + 0.5·2^(−age/halfLife)) term of
+// ContentScore, with the news half-life halving. It depends only on
+// (item, now), so the pipeline's candidate featurization computes it
+// once per batch.
+func (s *Scorer) FreshnessFactor(it *content.Item, now time.Time) float64 {
+	age := now.Sub(it.Published)
+	if age < 0 {
+		age = 0
+	}
+	halfLife := s.FreshnessHalfLife
+	if halfLife <= 0 {
+		halfLife = 36 * time.Hour
+	}
+	if it.Kind == content.KindNews {
+		halfLife /= 2
+	}
+	return 0.5 + 0.5*math.Exp2(-age.Hours()/halfLife.Hours())
 }
 
 // geoScore is 1 inside the item's relevance disc, decaying with the
@@ -169,16 +194,21 @@ func (s *Scorer) ScoreItem(prefs map[string]float64, it *content.Item, ctx Conte
 	return Scored{Item: it, Content: c, Context: x, Compound: s.Compound(c, x)}
 }
 
+// ContentFloor is the minimal content-based relevance a candidate must
+// clear to enter the ranking (the paper's two-stage filter): anything
+// below it — zero or negative cosine — is treated as actively disliked
+// or fully unrelated. Shared by Rank and the staged pipeline's ranker.
+const ContentFloor = 1e-6
+
 // Rank scores all items and returns the top k by compound relevance,
 // after the paper's two-stage filter: candidates must first clear a
 // minimal content-based relevance (not actively disliked), then are
 // ordered by compound score. k ≤ 0 returns all survivors.
 func (s *Scorer) Rank(prefs map[string]float64, items []*content.Item, ctx Context, k int) []Scored {
-	const contentFloor = 1e-6
 	out := make([]Scored, 0, len(items))
 	for _, it := range items {
 		sc := s.ScoreItem(prefs, it, ctx)
-		if sc.Content < contentFloor {
+		if sc.Content < ContentFloor {
 			continue
 		}
 		out = append(out, sc)

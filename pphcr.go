@@ -36,7 +36,7 @@ import (
 	"pphcr/internal/core"
 	"pphcr/internal/distraction"
 	"pphcr/internal/feedback"
-	"pphcr/internal/geo"
+	"pphcr/internal/pipeline"
 	"pphcr/internal/plancache"
 	"pphcr/internal/predict"
 	"pphcr/internal/profile"
@@ -116,17 +116,17 @@ type System struct {
 	// prediction matches a warm entry.
 	PlanCache *plancache.Cache
 
-	pipeline        *content.Pipeline
+	ingest          *content.Pipeline
 	candidateWindow time.Duration
+
+	// pipe is the staged planning pipeline (predict → gate → candidates →
+	// rank → allocate) every public entry point executes through.
+	pipe *pipeline.Pipeline
 
 	shards        []userShard
 	shardMask     uint32
 	lockOps       atomic.Int64
 	lockContended atomic.Int64
-
-	// candPool recycles candidate-window slices between ranking calls so
-	// the warm path stops allocating (and copying) the window per request.
-	candPool sync.Pool
 }
 
 // FNV-1a, inlined: shardFor sits on the request fast path and must not
@@ -218,7 +218,7 @@ func New(cfg Config) (*System, error) {
 		Scorer:    scorer,
 		Planner:   core.NewPlanner(scorer),
 		PlanCache: plancache.New(plancache.Config{Shards: cfg.PlanCacheShards, TTL: cfg.PlanTTL}),
-		pipeline: &content.Pipeline{
+		ingest: &content.Pipeline{
 			Recognizer: recognizer,
 			Classifier: &nb,
 			Repo:       repo,
@@ -232,7 +232,22 @@ func New(cfg Config) (*System, error) {
 		s.shards[i].injected = make(map[string][]string)
 		s.shards[i].lastPlans = make(map[string]*TripPlan)
 	}
+	s.pipe = pipeline.New(pipeline.Deps{
+		Mobility:         s.MobilityModel,
+		Preferences:      s.Preferences,
+		AppendCandidates: repo.AppendPublishedSince,
+		CandidateWindow:  cfg.CandidateWindow,
+		Cache:            s.PlanCache,
+		Planner:          s.Planner,
+		Scorer:           scorer,
+	})
 	return s, nil
+}
+
+// PipelineStats snapshots the staged pipeline's per-stage latency and
+// count metrics (reported on /stats and by the load generator).
+func (s *System) PipelineStats() pipeline.Stats {
+	return s.pipe.Stats()
 }
 
 // RegisterUser stores a listener profile.
@@ -246,7 +261,7 @@ func (s *System) RegisterUser(p profile.Profile) error {
 
 // IngestPodcast runs the clip-data-management pipeline on one podcast.
 func (s *System) IngestPodcast(raw content.RawPodcast) (*content.Item, error) {
-	it, err := s.pipeline.Ingest(raw)
+	it, err := s.ingest.Ingest(raw)
 	if err != nil {
 		return nil, err
 	}
@@ -362,48 +377,18 @@ func (s *System) Candidates(now time.Time) []*content.Item {
 	return s.Repo.AppendPublishedSince(nil, now.Add(-s.candidateWindow))
 }
 
-// acquireCandidates fills a pooled slice with the candidate window —
-// the ranking paths only read the window, so copying it per request is
-// pure allocation churn. Callers must releaseCandidates the slice after
-// the ranker is done (rankers retain item pointers, never the slice).
-func (s *System) acquireCandidates(now time.Time) *[]*content.Item {
-	bp, ok := s.candPool.Get().(*[]*content.Item)
-	if !ok {
-		bp = new([]*content.Item)
-	}
-	*bp = s.Repo.AppendPublishedSince((*bp)[:0], now.Add(-s.candidateWindow))
-	return bp
-}
-
-func (s *System) releaseCandidates(bp *[]*content.Item) {
-	s.candPool.Put(bp)
-}
-
 // Recommend ranks the current candidates for the user in the given
-// context. Editorially injected items (Fig 6) are pinned to the top with
-// full relevance, then removed from the injection list (inject-once
-// semantics).
+// context, through the pipeline's Candidates → Rank stages. Editorially
+// injected items (Fig 6) are pinned to the top with full relevance, then
+// removed from the injection list (inject-once semantics).
 func (s *System) Recommend(userID string, ctx recommend.Context, k int) []recommend.Scored {
-	prefs := s.Preferences(userID, ctx.Now)
-	cands := s.acquireCandidates(ctx.Now)
-	ranked := s.Scorer.Rank(prefs, *cands, ctx, k)
-	s.releaseCandidates(cands)
+	t := &pipeline.Task{Mode: pipeline.ModeRank, User: userID, Now: ctx.Now, Ctx: ctx, K: k}
+	s.pipe.Run(t)
+	ranked := t.Ranked
 
-	sh := s.shardFor(userID)
-	s.lockShard(sh)
-	pinnedIDs := sh.injected[userID]
-	delete(sh.injected, userID)
-	sh.mu.Unlock()
-	if len(pinnedIDs) == 0 {
+	pinned, seen := s.consumeInjections(userID)
+	if len(pinned) == 0 {
 		return ranked
-	}
-	var pinned []recommend.Scored
-	seen := make(map[string]bool)
-	for _, id := range pinnedIDs {
-		if it, ok := s.Repo.Get(id); ok && !seen[id] {
-			pinned = append(pinned, recommend.Scored{Item: it, Content: 1, Context: 1, Compound: 1})
-			seen[id] = true
-		}
 	}
 	out := pinned
 	for _, sc := range ranked {
@@ -415,6 +400,30 @@ func (s *System) Recommend(userID string, ctx recommend.Context, k int) []recomm
 		out = out[:k]
 	}
 	return out
+}
+
+// consumeInjections pops the user's pending editorial injections
+// (inject-once semantics) and resolves them into pinned entries with
+// full relevance, deduplicated; seen holds the resolved IDs so callers
+// can drop them from the organic ranking. Shared by Recommend and the
+// skip replacement path so the pinning semantics cannot drift.
+func (s *System) consumeInjections(userID string) (pinned []recommend.Scored, seen map[string]bool) {
+	sh := s.shardFor(userID)
+	s.lockShard(sh)
+	pinnedIDs := sh.injected[userID]
+	delete(sh.injected, userID)
+	sh.mu.Unlock()
+	if len(pinnedIDs) == 0 {
+		return nil, nil
+	}
+	seen = make(map[string]bool, len(pinnedIDs))
+	for _, id := range pinnedIDs {
+		if it, ok := s.Repo.Get(id); ok && !seen[id] {
+			pinned = append(pinned, recommend.Scored{Item: it, Content: 1, Context: 1, Compound: 1})
+			seen[id] = true
+		}
+	}
+	return pinned, seen
 }
 
 // Inject queues an editorial recommendation for a user (the control
@@ -460,112 +469,110 @@ type TripPlan struct {
 
 // Plan sources.
 const (
-	PlanSourceCold = "cold"
-	PlanSourceWarm = "warm"
+	PlanSourceCold = pipeline.SourceCold
+	PlanSourceWarm = pipeline.SourceWarm
 )
+
+// CachedPlan implements pipeline.CachedPlan: the scheduled plan plus the
+// logical instant it was computed for, which is what the Candidates
+// stage needs to judge a warm entry's fit and freshness.
+func (tp *TripPlan) CachedPlan() (core.Plan, time.Time) {
+	return tp.Plan, tp.Context.Now
+}
+
+// finishPlanTask converts a completed pipeline task into the public
+// TripPlan, stores it in the plan cache when the Allocate stage marked
+// it cacheable, remembers it as the user's last plan and publishes the
+// planning event. One conversion serves the live, warm and batch entry
+// points.
+func (s *System) finishPlanTask(t *pipeline.Task) (*TripPlan, error) {
+	if t.Err != nil {
+		return nil, t.Err
+	}
+	if !t.Recognized {
+		return &TripPlan{Proactive: false, Reason: t.Reason}, nil
+	}
+	tp := &TripPlan{
+		Prediction: t.Prediction,
+		Context:    t.Ctx,
+		Proactive:  t.Proactive,
+		Reason:     t.Reason,
+		Plan:       t.Plan,
+		Source:     t.Source,
+	}
+	if t.Cacheable {
+		// The version was captured before ranking inputs were sampled, so
+		// a concurrent invalidation (global or per-user) marks this entry
+		// stale rather than letting it masquerade as fresh.
+		s.PlanCache.PutVersioned(t.CacheKey, tp, t.CacheVer)
+	}
+	if t.Mode == pipeline.ModeLive {
+		s.rememberPlan(t.User, tp)
+		if t.Proactive {
+			s.Broker.Publish("recommendations.planned", []byte(t.User))
+		}
+	}
+	return tp, nil
+}
 
 // PlanTrip runs the end-to-end proactive flow for a user who started
 // driving: predict the trip from the partial trace and the compacted
 // mobility model, decide whether to recommend, and if so fill ΔT with
 // the relevance-maximizing clip schedule. The optional distraction
 // timeline gates transitions; pass nil when no road metadata is known.
+//
+// The flow is the pipeline's staged composition: Predict → Gate (phase 1
+// always runs live — a warm plan must never override a live decline) →
+// Candidates (which serves a warm cache entry when it fits) → Rank →
+// Allocate.
 func (s *System) PlanTrip(userID string, partial trajectory.Trace, now time.Time, tl *distraction.Timeline) (*TripPlan, error) {
-	cm, ok := s.MobilityModel(userID)
-	if !ok {
-		return nil, fmt.Errorf("pphcr: no mobility model for %q (run CompactTracking)", userID)
-	}
-	if len(partial) == 0 {
-		return nil, fmt.Errorf("pphcr: empty partial trace")
-	}
-	pred, ok := cm.Mobility.PredictTrip(partial, now)
-	if !ok {
-		return &TripPlan{Proactive: false, Reason: "trip not recognized"}, nil
-	}
-	ctx := recommend.Context{
+	t := &pipeline.Task{
+		Mode:     pipeline.ModeLive,
+		User:     userID,
 		Now:      now,
-		Position: partial[len(partial)-1].Point,
-		Route:    pred.Route,
-		SpeedMS:  partial.AverageSpeed(),
-		DeltaT:   pred.DeltaT,
-		Driving:  true,
+		Partial:  partial,
+		Timeline: tl,
 	}
-	// Phase 1 always runs live: whether this is a moment to recommend at
-	// all depends on the current ΔT, confidence and distraction, so a
-	// warm plan must never override a live decline.
-	var timeline distraction.Timeline
-	if tl != nil {
-		timeline = *tl
-	}
-	tp := &TripPlan{Prediction: pred, Context: ctx, Source: PlanSourceCold}
-	tp.Proactive, tp.Reason = s.Planner.ShouldRecommend(core.Situation{
-		Ctx:            ctx,
-		TripConfidence: pred.Confidence,
-		Distraction:    timeline,
-	})
-	if !tp.Proactive {
-		s.rememberPlan(userID, tp)
-		return tp, nil
-	}
-	// Fast path: a plan precomputed for this (user, destination, time
-	// bucket) is served as-is when it still fits the live ΔT and was
-	// computed near the request in *logical* time — callers drive
-	// PlanTrip with simulated clocks (experiments, pphcr-sim), so the
-	// wall-clock TTL alone would happily serve a plan from a previous
-	// simulated day. Requests carrying a distraction timeline bypass the
-	// cache entirely — warm plans are scheduled without transition
-	// constraints.
-	key := plancache.Key{User: userID, Dest: pred.Dest, Bucket: predict.BucketOf(now)}
-	ver := s.PlanCache.Snapshot(userID)
-	if tl == nil {
-		if v, ok := s.PlanCache.GetIf(key, func(v any) bool {
-			cached := v.(*TripPlan)
-			age := now.Sub(cached.Context.Now)
-			if age < 0 {
-				age = -age
-			}
-			return age <= s.PlanCache.TTL() && planFits(cached.Plan, pred.DeltaT)
-		}); ok {
-			cached := v.(*TripPlan)
-			warm := &TripPlan{
-				Prediction: pred,
-				Context:    ctx,
-				Proactive:  true,
-				Plan:       cached.Plan,
-				Source:     PlanSourceWarm,
-			}
-			s.rememberPlan(userID, warm)
-			s.Broker.Publish("recommendations.planned", []byte(userID))
-			return warm, nil
-		}
-	}
-	cands := s.acquireCandidates(now)
-	tp.Plan = s.Planner.Plan(core.Request{
-		Prefs:       s.Preferences(userID, now),
-		Candidates:  *cands,
-		Ctx:         ctx,
-		Distraction: tl,
-	})
-	s.releaseCandidates(cands)
-	if tl == nil && len(tp.Plan.Items) > 0 {
-		// The version was captured before ranking inputs were sampled, so
-		// a concurrent invalidation (global or per-user) marks this entry
-		// stale rather than letting it masquerade as fresh.
-		s.PlanCache.PutVersioned(key, tp, ver)
-	}
-	s.rememberPlan(userID, tp)
-	s.Broker.Publish("recommendations.planned", []byte(userID))
-	return tp, nil
+	s.pipe.Run(t)
+	return s.finishPlanTask(t)
 }
 
-// planFits reports whether every scheduled item still completes within
-// the live ΔT — the usability test for serving a cached plan.
-func planFits(p core.Plan, deltaT time.Duration) bool {
-	for _, it := range p.Items {
-		if it.StartOffset+it.Scored.Item.Duration > deltaT {
-			return false
+// TripRequest is one PlanTripBatch member.
+type TripRequest struct {
+	UserID   string
+	Partial  trajectory.Trace
+	Now      time.Time
+	Timeline *distraction.Timeline
+}
+
+// TripResult pairs one batch member's plan with its error.
+type TripResult struct {
+	Plan *TripPlan
+	Err  error
+}
+
+// PlanTripBatch runs many live planning requests through one pipeline
+// batch: the candidate window is acquired and featurized once per
+// distinct planning instant and each user's decayed preference vector is
+// read once, instead of once per request. Results are positional and
+// per-request errors do not fail their neighbors.
+func (s *System) PlanTripBatch(reqs []TripRequest) []TripResult {
+	tasks := make([]*pipeline.Task, len(reqs))
+	for i, r := range reqs {
+		tasks[i] = &pipeline.Task{
+			Mode:     pipeline.ModeLive,
+			User:     r.UserID,
+			Now:      r.Now,
+			Partial:  r.Partial,
+			Timeline: r.Timeline,
 		}
 	}
-	return true
+	s.pipe.RunBatch(tasks)
+	out := make([]TripResult, len(reqs))
+	for i, t := range tasks {
+		out[i].Plan, out[i].Err = s.finishPlanTask(t)
+	}
+	return out
 }
 
 // WarmPlan precomputes and caches the proactive plan for an anticipated
@@ -573,77 +580,55 @@ func planFits(p core.Plan, deltaT time.Duration) bool {
 // the Markov prior standing in for the live trip confidence. The context
 // is reconstructed from the mobility model (expected route, median travel
 // time, implied speed), which is exactly the information PlanTrip would
-// derive at trip start. The plan is cached under (user, dest, BucketOf(at))
-// when phase 1 approves and at least one item is scheduled; the returned
-// TripPlan reports the phase-1 decision either way.
+// derive at trip start — both run the same pipeline stages. The plan is
+// cached under (user, dest, BucketOf(at)) when phase 1 approves and at
+// least one item is scheduled; the returned TripPlan reports the phase-1
+// decision either way.
 func (s *System) WarmPlan(userID string, from, dest predict.PlaceID, prob float64, at time.Time) (*TripPlan, error) {
-	ver := s.PlanCache.Snapshot(userID)
-	cm, ok := s.MobilityModel(userID)
-	if !ok {
-		return nil, fmt.Errorf("pphcr: no mobility model for %q (run CompactTracking)", userID)
+	t := &pipeline.Task{
+		Mode: pipeline.ModeWarm,
+		User: userID,
+		Now:  at,
+		From: from,
+		Dest: dest,
+		Prob: prob,
 	}
-	m := cm.Mobility
-	median, mad, ok := m.TravelTime(from, dest)
-	if !ok {
-		return nil, fmt.Errorf("pphcr: no travel history %d→%d for %q", from, dest, userID)
+	s.pipe.Run(t)
+	return s.finishPlanTask(t)
+}
+
+// WarmRequest is one WarmBatch member: an anticipated trip to warm.
+type WarmRequest struct {
+	UserID     string
+	From, Dest predict.PlaceID
+	Prob       float64
+	At         time.Time
+}
+
+// WarmBatch precomputes plans for many anticipated trips through one
+// pipeline batch. This is the precompute scheduler's execution path: a
+// warm sweep over N users shares one candidate acquisition +
+// featurization per time bucket and one preference read per user, which
+// is what makes population-scale warming affordable (BenchmarkPlanBatch
+// measures the per-plan gap against sequential WarmPlan).
+func (s *System) WarmBatch(reqs []WarmRequest) []TripResult {
+	tasks := make([]*pipeline.Task, len(reqs))
+	for i, r := range reqs {
+		tasks[i] = &pipeline.Task{
+			Mode: pipeline.ModeWarm,
+			User: r.UserID,
+			Now:  r.At,
+			From: r.From,
+			Dest: r.Dest,
+			Prob: r.Prob,
+		}
 	}
-	route, _ := m.ExpectedRoute(from, dest)
-	var pos geo.Point
-	switch {
-	case len(route) > 0:
-		pos = route[0]
-	case int(from) >= 0 && int(from) < len(m.Places()):
-		pos = m.Places()[from].Center
+	s.pipe.RunBatch(tasks)
+	out := make([]TripResult, len(reqs))
+	for i, t := range tasks {
+		out[i].Plan, out[i].Err = s.finishPlanTask(t)
 	}
-	var speed float64
-	if len(route) >= 2 && median > 0 {
-		speed = route.Length() / median.Seconds()
-	}
-	// Plan to a robust lower bound of the travel time, not the median:
-	// a live request arrives a little after trip start with slightly less
-	// ΔT remaining, and a plan filled to the median would fail its fit
-	// check exactly when it is wanted most. median−MAD (clamped to half
-	// the median) absorbs that slack.
-	deltaT := median - mad
-	if deltaT < median/2 {
-		deltaT = median / 2
-	}
-	ctx := recommend.Context{
-		Now:      at,
-		Position: pos,
-		Route:    route,
-		SpeedMS:  speed,
-		DeltaT:   deltaT,
-		Driving:  true,
-	}
-	tp := &TripPlan{
-		Prediction: predict.Prediction{
-			From: from, Dest: dest,
-			Confidence: prob,
-			DeltaT:     median, DeltaTMAD: mad,
-			Route: route,
-		},
-		Context: ctx,
-		Source:  PlanSourceWarm,
-	}
-	tp.Proactive, tp.Reason = s.Planner.ShouldRecommend(core.Situation{
-		Ctx:            ctx,
-		TripConfidence: prob,
-	})
-	if !tp.Proactive {
-		return tp, nil
-	}
-	cands := s.acquireCandidates(at)
-	tp.Plan = s.Planner.Plan(core.Request{
-		Prefs:      s.Preferences(userID, at),
-		Candidates: *cands,
-		Ctx:        ctx,
-	})
-	s.releaseCandidates(cands)
-	if len(tp.Plan.Items) > 0 {
-		s.PlanCache.PutVersioned(plancache.Key{User: userID, Dest: dest, Bucket: predict.BucketOf(at)}, tp, ver)
-	}
-	return tp, nil
+	return out
 }
 
 func (s *System) rememberPlan(userID string, tp *TripPlan) {
@@ -685,13 +670,7 @@ func (s *System) SkipLive(userID, serviceID string, ctx recommend.Context) (reco
 			return recommend.Scored{}, err
 		}
 	}
-	skipped := s.Feedback.SkippedItems(userID)
-	for _, sc := range s.Recommend(userID, ctx, 0) {
-		if !skipped[sc.Item.ID] {
-			return sc, nil
-		}
-	}
-	return recommend.Scored{}, ErrNoAlternative
+	return s.skipReplacement(userID, ctx)
 }
 
 // SkipClip handles a skip of an already-playing recommended clip: the
@@ -709,11 +688,46 @@ func (s *System) SkipClip(userID, itemID string, ctx recommend.Context) (recomme
 			return recommend.Scored{}, err
 		}
 	}
+	return s.skipReplacement(userID, ctx)
+}
+
+// skipReplacement picks the single best not-yet-skipped clip for the
+// user. Pending editorial injections keep their precedence (and their
+// inject-once semantics), then the pipeline ranks with k=1 and the
+// skipped set excluded in-stage — the Rank stage's bounded top-k heap
+// selects the one replacement without ranking (or sorting) the whole
+// catalog the way the old Recommend(user, ctx, 0) scan did
+// (BenchmarkSkipReplacement measures the gap).
+func (s *System) skipReplacement(userID string, ctx recommend.Context) (recommend.Scored, error) {
 	skipped := s.Feedback.SkippedItems(userID)
-	for _, sc := range s.Recommend(userID, ctx, 0) {
-		if !skipped[sc.Item.ID] {
-			return sc, nil
+
+	exclude := skipped
+	if pinned, seen := s.consumeInjections(userID); len(pinned) > 0 {
+		// Preserve Recommend's merge semantics: the first pinned,
+		// unskipped item wins outright; pinned-but-skipped items must not
+		// reappear from the organic ranking.
+		for _, sc := range pinned {
+			if !skipped[sc.Item.ID] {
+				return sc, nil
+			}
+		}
+		exclude = seen
+		for id := range skipped {
+			exclude[id] = true
 		}
 	}
-	return recommend.Scored{}, ErrNoAlternative
+
+	t := &pipeline.Task{
+		Mode:    pipeline.ModeRank,
+		User:    userID,
+		Now:     ctx.Now,
+		Ctx:     ctx,
+		K:       1,
+		Exclude: exclude,
+	}
+	s.pipe.Run(t)
+	if len(t.Ranked) == 0 {
+		return recommend.Scored{}, ErrNoAlternative
+	}
+	return t.Ranked[0], nil
 }
