@@ -59,6 +59,8 @@ var highlightNames = map[string]string{
 	"BenchmarkPlanBatch/batch":          "warm_batch_ns",
 	"BenchmarkSkipReplacement/fullrank": "skip_fullrank_ns",
 	"BenchmarkSkipReplacement/topk":     "skip_topk_ns",
+	"BenchmarkWALAppend":                "wal_append_ns",
+	"BenchmarkRecoveryReplay":           "recovery_replay_ns",
 }
 
 func main() {
@@ -129,6 +131,12 @@ func main() {
 		if topk, ok := out.Highlights["skip_topk_ns"]; ok && topk > 0 {
 			out.Highlights["skip_topk_speedup_x"] = full / topk
 		}
+	}
+	// Durability headline: BenchmarkRecoveryReplay's ns/op is per
+	// replayed WAL event, so its inverse is the crash-recovery
+	// throughput the ISSUE tracks.
+	if replay, ok := out.Highlights["recovery_replay_ns"]; ok && replay > 0 {
+		out.Highlights["recovery_events_per_sec"] = 1e9 / replay
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

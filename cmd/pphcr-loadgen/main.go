@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"pphcr"
+	"pphcr/internal/durable"
 	"pphcr/internal/feedback"
 	"pphcr/internal/pipeline"
 	"pphcr/internal/recommend"
@@ -84,6 +86,9 @@ func main() {
 		userShards = flag.Int("user-shards", pphcr.DefaultUserShards, "per-user state shard count")
 		fbHorizon  = flag.Duration("feedback-horizon", 7*24*time.Hour, "compaction horizon for the compact-feedback op")
 		batchSize  = flag.Int("batch", 16, "users per plan-batch op (0 disables the batch workload)")
+		restart    = flag.Bool("restart", false, "run with a WAL, kill the system mid-run, recover and report recovery time")
+		dataDir    = flag.String("data-dir", "", "durability directory for -restart (default: a temp dir)")
+		walSync    = flag.String("wal-sync", "interval", "WAL fsync policy for -restart: always, interval or none")
 	)
 	flag.Parse()
 
@@ -95,14 +100,74 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := pphcr.New(pphcr.Config{
+	cfg := pphcr.Config{
 		TrainingDocs: w.Training,
 		Vocabulary:   w.FlatVocab,
 		Seed:         *seed,
 		UserShards:   *userShards,
-	})
+	}
+	sys, err := pphcr.New(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// The -restart workload runs the whole mix on top of a WAL, then
+	// kills the system mid-flight and measures how fast a fresh instance
+	// recovers the durable state.
+	var dur *pphcr.Durability
+	if *restart {
+		dir := *dataDir
+		if dir == "" {
+			var err error
+			dir, err = os.MkdirTemp("", "pphcr-loadgen-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+		}
+		policy, err := durable.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The loadgen always preloads from scratch; recovering a prior
+		// run's state under that preload would die on duplicate ingests.
+		if ok, err := durable.Initialized(dir); err != nil {
+			log.Fatal(err)
+		} else if ok {
+			log.Fatalf("loadgen: -data-dir %s holds a previous run's state; point -restart at an empty directory", dir)
+		}
+		if err := durable.RemoveSegments(dir); err != nil {
+			log.Fatal(err)
+		}
+		dur, err = pphcr.OpenDurability(sys, pphcr.DurabilityOptions{Dir: dir, Sync: policy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("durability enabled in %s (wal-sync=%s)", dir, policy)
+		defer func() {
+			st := dur.Stats()
+			dur.Crash() // hard kill: no flush, no final checkpoint
+			fresh, err := pphcr.New(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Time only the recovery path (restore + replay); system
+			// construction (classifier training) is a boot cost either
+			// way and would swamp the replay number for small WALs.
+			kill := time.Now()
+			rdur, err := pphcr.OpenDurability(fresh, pphcr.DurabilityOptions{Dir: dir, Sync: policy})
+			if err != nil {
+				log.Fatalf("recovery failed: %v", err)
+			}
+			elapsed := time.Since(kill)
+			defer rdur.Crash()
+			replayed := rdur.ReplayedEvents()
+			fmt.Printf("\nrestart workload: killed with %d events appended (%d segments, %.1f MB)\n",
+				st.WAL.Appended, st.WAL.Segments, float64(st.WAL.Bytes)/1e6)
+			fmt.Printf("recovered %d users / %d items in %v — %d events replayed (%.0f events/sec)\n",
+				fresh.Profiles.Len(), fresh.Repo.Len(), elapsed.Round(time.Millisecond),
+				replayed, float64(replayed)/elapsed.Seconds())
+		}()
 	}
 
 	// Hold back a slice of the corpus for run-phase ingestion.
@@ -154,6 +219,15 @@ func main() {
 	// Reads happen strictly after every feedback timestamp so preference
 	// reads stay on the incremental index (no replay fallback).
 	readAt := worldEnd.Add(time.Hour)
+
+	if dur != nil {
+		// Fold the preload into a checkpoint so the recovery measured
+		// below is restore + replay of the timed phase, the shape a
+		// production crash has.
+		if err := dur.Checkpoint(); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	log.Printf("running %d ops over %d workers...", *ops, *workers)
 	var (

@@ -27,6 +27,7 @@ import (
 
 	"pphcr"
 	"pphcr/internal/dashboard"
+	"pphcr/internal/durable"
 	"pphcr/internal/httpapi"
 	"pphcr/internal/precompute"
 	"pphcr/internal/service"
@@ -47,6 +48,9 @@ func main() {
 		userShards  = flag.Int("user-shards", pphcr.DefaultUserShards, "per-user state shard count")
 		fbEvery     = flag.Int("feedback-compact-every", 512, "feedback events per user between compactions (0 disables)")
 		fbHorizon   = flag.Duration("feedback-horizon", 30*24*time.Hour, "feedback history kept live; older events fold into the baseline")
+		dataDir     = flag.String("data-dir", "", "durability directory (WAL + checkpoints); empty runs in-memory only")
+		ckInterval  = flag.Duration("checkpoint-interval", time.Minute, "time between background checkpoints (0 disables; shutdown still checkpoints)")
+		walSync     = flag.String("wal-sync", "interval", "WAL fsync policy: always, interval or none")
 	)
 	flag.Parse()
 
@@ -66,6 +70,45 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Recovery runs before anything mutates the fresh System and before
+	// the listener opens: restore the newest valid checkpoint, replay
+	// the WAL tail, then attach the log so every subsequent mutation is
+	// durable.
+	var dur *pphcr.Durability
+	if *dataDir != "" {
+		policy, err := durable.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// A directory with WAL segments but no checkpoint is a boot that
+		// crashed before its first checkpoint — i.e. mid-preload. Its
+		// partial log must not masquerade as recoverable state (the
+		// restart would skip the rest of the preload and serve a
+		// half-loaded world), so reset it and preload from scratch.
+		if ok, err := durable.Initialized(*dataDir); err == nil && !ok {
+			if err := durable.RemoveSegments(*dataDir); err != nil {
+				log.Fatal(err)
+			}
+		} else if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		dur, err = pphcr.OpenDurability(sys, pphcr.DurabilityOptions{Dir: *dataDir, Sync: policy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if dur.Recovered() {
+			log.Printf("recovered %d users, %d items from %s (%d WAL events replayed) in %v",
+				sys.Profiles.Len(), sys.Repo.Len(), *dataDir, dur.ReplayedEvents(),
+				time.Since(start).Round(time.Millisecond))
+		} else {
+			log.Printf("durability enabled in %s (wal-sync=%s, empty directory)", *dataDir, policy)
+		}
+	}
+
+	// The broadcast directory is ephemeral metadata (regenerated each
+	// boot, never snapshotted) and is loaded either way.
 	horizon := w.Params.StartDate.AddDate(0, 0, w.Params.Days+8)
 	for _, svc := range w.Directory.Services() {
 		if err := sys.Directory.AddService(svc); err != nil {
@@ -77,42 +120,56 @@ func main() {
 			}
 		}
 	}
-	log.Printf("ingesting %d podcasts through the ASR+Bayes pipeline...", len(w.Corpus))
-	start := time.Now()
-	for _, raw := range w.Corpus {
-		if _, err := sys.IngestPodcast(raw); err != nil {
-			log.Fatal(err)
+
+	// The synthetic preload only populates a fresh deployment; a
+	// recovered one already holds this state (plus everything that
+	// happened since) and re-ingesting would duplicate it.
+	if dur == nil || !dur.Recovered() {
+		log.Printf("ingesting %d podcasts through the ASR+Bayes pipeline...", len(w.Corpus))
+		start := time.Now()
+		for _, raw := range w.Corpus {
+			if _, err := sys.IngestPodcast(raw); err != nil {
+				log.Fatal(err)
+			}
 		}
-	}
-	log.Printf("ingested in %v", time.Since(start).Round(time.Millisecond))
-	for _, p := range w.Personas {
-		if err := sys.RegisterUser(p.Profile); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if *track {
-		log.Printf("preloading commute traces for %d personas...", len(w.Personas))
+		log.Printf("ingested in %v", time.Since(start).Round(time.Millisecond))
 		for _, p := range w.Personas {
-			for d := 0; d < w.Params.Days; d++ {
-				day := w.Params.StartDate.AddDate(0, 0, d)
-				if wd := day.Weekday(); wd == time.Saturday || wd == time.Sunday {
-					continue
-				}
-				for _, morning := range []bool{true, false} {
-					trace, _, err := w.CommuteTrace(p, day, morning)
-					if err != nil {
-						log.Fatal(err)
+			if err := sys.RegisterUser(p.Profile); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *track {
+			log.Printf("preloading commute traces for %d personas...", len(w.Personas))
+			for _, p := range w.Personas {
+				for d := 0; d < w.Params.Days; d++ {
+					day := w.Params.StartDate.AddDate(0, 0, d)
+					if wd := day.Weekday(); wd == time.Saturday || wd == time.Sunday {
+						continue
 					}
-					for _, fix := range trace {
-						if err := sys.RecordFix(p.Profile.UserID, fix); err != nil {
+					for _, morning := range []bool{true, false} {
+						trace, _, err := w.CommuteTrace(p, day, morning)
+						if err != nil {
 							log.Fatal(err)
+						}
+						for _, fix := range trace {
+							if err := sys.RecordFix(p.Profile.UserID, fix); err != nil {
+								log.Fatal(err)
+							}
 						}
 					}
 				}
+				if _, err := sys.CompactTracking(p.Profile.UserID); err != nil {
+					log.Printf("compact %s: %v", p.Profile.UserID, err)
+				}
 			}
-			if _, err := sys.CompactTracking(p.Profile.UserID); err != nil {
-				log.Printf("compact %s: %v", p.Profile.UserID, err)
+		}
+		if dur != nil {
+			// Fold the preload into checkpoint zero so the next boot
+			// restores it instead of replaying the whole WAL.
+			if err := dur.Checkpoint(); err != nil {
+				log.Fatal(err)
 			}
+			log.Printf("initial checkpoint written to %s", *dataDir)
 		}
 	}
 
@@ -146,7 +203,22 @@ func main() {
 		go fbc.Run(stop)
 	}
 
+	// The checkpointer runs beside the compactors and the warmer,
+	// bounding crash recovery to one interval of WAL replay.
+	var checkpointer *service.Checkpointer
+	if dur != nil {
+		checkpointer, err = service.NewCheckpointer(dur)
+		if err != nil {
+			log.Fatal(err)
+		}
+		checkpointer.Interval = *ckInterval
+		go checkpointer.Run(stop)
+	}
+
 	api := httpapi.NewServer(sys)
+	if dur != nil {
+		api.SetDurabilityStats(func() interface{} { return dur.Stats() })
+	}
 	var warmer *service.Warmer
 	if *warmWorkers > 0 {
 		warmer, err = service.NewWarmer(sys, precompute.Config{
@@ -190,6 +262,7 @@ func main() {
 	select {
 	case err := <-errc:
 		close(stop)
+		finalCheckpoint(dur)
 		log.Fatal(err)
 	case <-ctx.Done():
 	}
@@ -200,7 +273,24 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
+	// The final checkpoint runs after the listener drained, so every
+	// acknowledged mutation is in the snapshot and the next boot
+	// replays nothing.
+	finalCheckpoint(dur)
 	log.Printf("bye")
+}
+
+// finalCheckpoint flushes the WAL and writes the shutdown snapshot.
+func finalCheckpoint(dur *pphcr.Durability) {
+	if dur == nil {
+		return
+	}
+	start := time.Now()
+	if err := dur.Close(); err != nil {
+		log.Printf("final checkpoint: %v", err)
+		return
+	}
+	log.Printf("final checkpoint written in %v", time.Since(start).Round(time.Millisecond))
 }
 
 func firstN(xs []string, n int) []string {

@@ -1,0 +1,349 @@
+package pphcr
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pphcr/internal/content"
+	"pphcr/internal/durable"
+	"pphcr/internal/feedback"
+	"pphcr/internal/profile"
+	"pphcr/internal/trajectory"
+)
+
+// Event payload schemas. Register/ingest/feedback events reuse the
+// store types directly; the rest are thin argument records. All replay
+// deterministically through the System entry points they were emitted
+// from.
+type (
+	fixEvent struct {
+		User string
+		Fix  trajectory.Fix
+	}
+	compactEvent struct {
+		User string
+		// N is the trace-prefix length the model was compacted from,
+		// pinned at emit time so replay is exact regardless of how
+		// concurrent fixes interleaved with the compaction.
+		N int
+	}
+	feedbackCompactEvent struct {
+		User    string
+		At      time.Time
+		Horizon time.Duration
+	}
+	injectEvent struct {
+		User, Item string
+	}
+	consumeEvent struct {
+		User string
+	}
+)
+
+// durableTypeForKind maps a feedback kind to its WAL event type: skips
+// and dislikes are first-class in the log (the paper's negative-signal
+// flows), everything else is a generic feedback event.
+func durableTypeForKind(k feedback.Kind) durable.Type {
+	switch k {
+	case feedback.Skip:
+		return durable.TypeSkip
+	case feedback.Dislike:
+		return durable.TypeDislike
+	default:
+		return durable.TypeFeedback
+	}
+}
+
+// applyDurableEvent replays one WAL record through the entry point that
+// emitted it. It runs during recovery, before the mutation hook is
+// attached, so nothing is re-logged.
+func (s *System) applyDurableEvent(e durable.Event) error {
+	switch e.Type {
+	case durable.TypeRegister:
+		var p profile.Profile
+		if err := json.Unmarshal(e.Payload, &p); err != nil {
+			return err
+		}
+		return s.RegisterUser(p)
+	case durable.TypeIngest:
+		var it content.Item
+		if err := json.Unmarshal(e.Payload, &it); err != nil {
+			return err
+		}
+		return s.restoreItem(&it)
+	case durable.TypeFix:
+		var fe fixEvent
+		if err := json.Unmarshal(e.Payload, &fe); err != nil {
+			return err
+		}
+		return s.RecordFix(fe.User, fe.Fix)
+	case durable.TypeFeedback, durable.TypeSkip, durable.TypeDislike:
+		var fe feedback.Event
+		if err := json.Unmarshal(e.Payload, &fe); err != nil {
+			return err
+		}
+		return s.AddFeedback(fe)
+	case durable.TypeCompact:
+		var ce compactEvent
+		if err := json.Unmarshal(e.Payload, &ce); err != nil {
+			return err
+		}
+		s.durMu.RLock()
+		_, err := s.compactTracking(ce.User, ce.N)
+		s.durMu.RUnlock()
+		return err
+	case durable.TypeFeedbackCompact:
+		var fc feedbackCompactEvent
+		if err := json.Unmarshal(e.Payload, &fc); err != nil {
+			return err
+		}
+		s.CompactFeedback(fc.User, fc.At, fc.Horizon)
+		return nil
+	case durable.TypeInject:
+		var ie injectEvent
+		if err := json.Unmarshal(e.Payload, &ie); err != nil {
+			return err
+		}
+		return s.Inject(ie.User, ie.Item)
+	case durable.TypeConsume:
+		var ce consumeEvent
+		if err := json.Unmarshal(e.Payload, &ce); err != nil {
+			return err
+		}
+		s.consumeInjections(ce.User)
+		return nil
+	default:
+		return fmt.Errorf("pphcr: unknown durable event type %d", e.Type)
+	}
+}
+
+// DurabilityOptions parameterizes OpenDurability.
+type DurabilityOptions struct {
+	// Dir is the data directory holding WAL segments and checkpoints.
+	Dir string
+	// Sync is the WAL fsync policy (-wal-sync). Default durable.SyncAlways.
+	Sync durable.SyncPolicy
+	// SyncEvery is the SyncInterval tick. Default 50ms.
+	SyncEvery time.Duration
+	// SegmentBytes is the WAL rotation threshold. Default 8 MiB.
+	SegmentBytes int64
+	// KeepCheckpoints is how many checkpoint generations to retain (the
+	// older ones are the fallback if the newest fails validation).
+	// Default 2.
+	KeepCheckpoints int
+}
+
+// Durability binds a System to its on-disk write-ahead log and
+// checkpoints: OpenDurability recovers the newest durable state into
+// the (fresh) System, then attaches the WAL so every subsequent
+// mutation is logged; Checkpoint snapshots and truncates; Close takes a
+// final checkpoint. One Durability per data directory.
+type Durability struct {
+	sys  *System
+	dir  string
+	wal  *durable.WAL
+	keep int
+
+	// mu serializes Checkpoint against Close.
+	mu     sync.Mutex
+	closed bool
+
+	replayed       int
+	torn           bool
+	recovered      bool
+	checkpoints    atomic.Int64
+	checkpointErrs atomic.Int64
+	lastCheckpoint atomic.Int64 // unix nanos; 0 = never
+}
+
+// OpenDurability recovers state from o.Dir into sys — which must be
+// freshly constructed with the same Config as the crashed instance —
+// and attaches the write-ahead log to its mutation hook.
+//
+// Recovery restores the newest checkpoint that passes CRC validation
+// (falling back to an older retained one if the newest is damaged),
+// then replays the WAL segments the checkpoint does not cover, in
+// order, through the System entry points. A torn final record — the
+// signature of a crash mid-append — is tolerated and dropped; torn
+// records anywhere else fail recovery loudly.
+func OpenDurability(sys *System, o DurabilityOptions) (*Durability, error) {
+	if o.Dir == "" {
+		return nil, fmt.Errorf("pphcr: DurabilityOptions.Dir required")
+	}
+	if o.KeepCheckpoints <= 0 {
+		o.KeepCheckpoints = 2
+	}
+	d := &Durability{sys: sys, dir: o.Dir, keep: o.KeepCheckpoints}
+
+	cps, err := durable.ListCheckpoints(o.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("pphcr: listing checkpoints: %w", err)
+	}
+	var fromSeq int64
+	for i := len(cps) - 1; i >= 0; i-- {
+		data, err := durable.ReadCheckpoint(cps[i].Path)
+		if err != nil {
+			continue // damaged: fall back to the previous generation
+		}
+		if err := sys.Restore(bytes.NewReader(data)); err != nil {
+			return nil, fmt.Errorf("pphcr: restoring checkpoint %d: %w", cps[i].Seq, err)
+		}
+		fromSeq = cps[i].Seq
+		d.recovered = true
+		break
+	}
+	if len(cps) > 0 && !d.recovered {
+		// Checkpoints exist but none validated. Booting anyway would
+		// replay only the retained WAL tail over an empty system and
+		// silently serve with most state gone — data loss must be a
+		// loud startup failure, not a quiet degradation.
+		return nil, fmt.Errorf("pphcr: %d checkpoint(s) in %s but none passed validation", len(cps), o.Dir)
+	}
+	st, err := durable.Replay(o.Dir, fromSeq, sys.applyDurableEvent)
+	if err != nil {
+		return nil, fmt.Errorf("pphcr: replaying WAL: %w", err)
+	}
+	d.replayed = st.Events
+	d.torn = st.Torn
+	if st.Events > 0 {
+		d.recovered = true
+	}
+
+	wal, err := durable.OpenWAL(o.Dir, durable.Options{
+		SegmentBytes: o.SegmentBytes,
+		Sync:         o.Sync,
+		SyncEvery:    o.SyncEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.wal = wal
+	sys.SetMutationHook(wal.Append)
+	return d, nil
+}
+
+// Recovered reports whether opening found prior state (a checkpoint or
+// WAL events) — the server uses it to skip its synthetic preload.
+func (d *Durability) Recovered() bool { return d.recovered }
+
+// ReplayedEvents returns the number of WAL records applied at open.
+func (d *Durability) ReplayedEvents() int { return d.replayed }
+
+// Checkpoint writes a full snapshot and truncates the WAL segments it
+// covers. The write paths are paused only while the snapshot serializes
+// to memory and the WAL rotates; the disk writes happen outside the
+// barrier. The snapshot lands atomically (temp file + fsync + rename),
+// older generations beyond KeepCheckpoints are deleted, and WAL
+// segments below the oldest retained checkpoint are removed.
+func (d *Durability) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.checkpointLocked()
+}
+
+func (d *Durability) checkpointLocked() error {
+	if d.closed {
+		return fmt.Errorf("pphcr: checkpoint on closed durability")
+	}
+	var (
+		buf bytes.Buffer
+		seq int64
+		err error
+	)
+	d.sys.checkpointBarrier(func() {
+		if err = d.sys.Snapshot(&buf); err != nil {
+			return
+		}
+		seq, err = d.wal.Rotate()
+	})
+	if err == nil {
+		err = durable.WriteCheckpoint(d.dir, seq, buf.Bytes())
+	}
+	if err != nil {
+		d.checkpointErrs.Add(1)
+		return fmt.Errorf("pphcr: checkpoint: %w", err)
+	}
+	d.checkpoints.Add(1)
+	d.lastCheckpoint.Store(time.Now().UnixNano())
+	kept, err := durable.RemoveCheckpointsKeep(d.dir, d.keep)
+	if err != nil || len(kept) == 0 {
+		return err
+	}
+	return d.wal.RemoveSegmentsBelow(kept[0].Seq)
+}
+
+// Close takes a final checkpoint (the shutdown flush) and closes the
+// WAL. The System's hook is detached so late mutations fail fast
+// instead of landing in a closed log.
+func (d *Durability) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	err := d.checkpointLocked()
+	d.closed = true
+	d.sys.SetMutationHook(nil)
+	if cerr := d.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Crash abandons the durability layer without flushing or
+// checkpointing — the crash-simulation path used by recovery tests and
+// the load generator's -restart workload. Buffered, unsynced WAL
+// records are lost exactly as in a process kill.
+func (d *Durability) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	d.sys.SetMutationHook(nil)
+	d.wal.Abandon()
+}
+
+// DurabilityStats is the /stats view of the durability subsystem.
+type DurabilityStats struct {
+	WAL durable.WALStats `json:"wal"`
+	// Replayed is the number of WAL records applied at startup.
+	Replayed int `json:"replayed"`
+	// RecoveredTorn reports whether startup found (and dropped) a torn
+	// final record.
+	RecoveredTorn bool `json:"recovered_torn,omitempty"`
+	// Checkpoints / CheckpointErrors count checkpoint attempts since
+	// open.
+	Checkpoints      int64 `json:"checkpoints"`
+	CheckpointErrors int64 `json:"checkpoint_errors"`
+	// EmitErrors counts WAL-append failures on the write paths whose
+	// signatures cannot propagate them (injection consumption, feedback
+	// compaction). Nonzero means the log is missing events.
+	EmitErrors int64 `json:"emit_errors"`
+	// LastCheckpointUnix is when the newest checkpoint completed (0 =
+	// never); LastCheckpointAgeSec is its age now.
+	LastCheckpointUnix   int64   `json:"last_checkpoint_unix"`
+	LastCheckpointAgeSec float64 `json:"last_checkpoint_age_sec"`
+}
+
+// Stats snapshots the durability counters.
+func (d *Durability) Stats() DurabilityStats {
+	st := DurabilityStats{
+		WAL:              d.wal.Stats(),
+		Replayed:         d.replayed,
+		RecoveredTorn:    d.torn,
+		Checkpoints:      d.checkpoints.Load(),
+		CheckpointErrors: d.checkpointErrs.Load(),
+		EmitErrors:       d.sys.emitErrs.Load(),
+	}
+	if ns := d.lastCheckpoint.Load(); ns > 0 {
+		st.LastCheckpointUnix = ns / 1e9
+		st.LastCheckpointAgeSec = time.Since(time.Unix(0, ns)).Seconds()
+	}
+	return st
+}

@@ -36,6 +36,21 @@ type Pipeline struct {
 // item. The classifier's posterior becomes the item's soft category
 // distribution.
 func (p *Pipeline) Ingest(raw RawPodcast) (*Item, error) {
+	it, err := p.Process(raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Repo.Add(it); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// Process runs the recognition + classification stages without storing
+// the result — the caller decides when the item becomes visible (the
+// durability layer logs it to the WAL first, so the log can never order
+// a reference to the item ahead of its creation).
+func (p *Pipeline) Process(raw RawPodcast) (*Item, error) {
 	if p.Recognizer == nil || p.Classifier == nil || p.Repo == nil {
 		return nil, fmt.Errorf("content: pipeline not fully wired")
 	}
@@ -70,9 +85,6 @@ func (p *Pipeline) Ingest(raw RawPodcast) (*Item, error) {
 		Categories:  pruned,
 		Geo:         raw.Geo,
 		BitrateKbps: 96,
-	}
-	if err := p.Repo.Add(it); err != nil {
-		return nil, err
 	}
 	return it, nil
 }

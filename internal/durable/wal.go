@@ -1,0 +1,517 @@
+package durable
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy selects when the WAL calls fsync.
+type SyncPolicy int
+
+// Sync policies, in decreasing durability order. SyncAlways fsyncs every
+// append (no completed mutation is ever lost); SyncInterval flushes and
+// fsyncs on a background tick, bounding loss to one interval; SyncNone
+// leaves flushing to the OS (and to Close/Rotate).
+const (
+	SyncAlways SyncPolicy = iota
+	SyncInterval
+	SyncNone
+)
+
+// String returns the policy name (the -wal-sync flag values).
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy parses a -wal-sync flag value.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("durable: unknown sync policy %q (want always, interval or none)", s)
+	}
+}
+
+// ErrDeferredSync reports that an *earlier* background fsync failed.
+// The record whose Append returned it WAS written to the log (and the
+// unsynced data is retried on the next tick) — callers that sequence
+// work after the append (the emit-then-apply ingest path) must treat
+// the record as logged and proceed, or log and state diverge.
+var ErrDeferredSync = errors.New("durable: deferred background fsync failed")
+
+// Options parameterizes a WAL.
+type Options struct {
+	// SegmentBytes is the rotation threshold. Default 8 MiB.
+	SegmentBytes int64
+	// Sync is the fsync policy. Default SyncAlways.
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval tick. Default 50ms.
+	SyncEvery time.Duration
+}
+
+func (o *Options) defaults() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 50 * time.Millisecond
+	}
+}
+
+const (
+	segmentPrefix = "wal-"
+	segmentSuffix = ".log"
+)
+
+// segmentName renders the file name of segment seq.
+func segmentName(seq int64) string {
+	return fmt.Sprintf("%s%016d%s", segmentPrefix, seq, segmentSuffix)
+}
+
+// numberedFile is one <prefix>NNN<suffix> file in a data directory —
+// the naming scheme shared by WAL segments and checkpoints.
+type numberedFile struct {
+	seq  int64
+	path string
+	size int64
+}
+
+// segmentInfo is one WAL segment on disk.
+type segmentInfo = numberedFile
+
+// listNumbered returns dir's <prefix>NNN<suffix> files ascending by
+// sequence number, skipping entries that do not parse.
+func listNumbered(dir, prefix, suffix string) ([]numberedFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []numberedFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		seq, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, numberedFile{seq: seq, path: filepath.Join(dir, name), size: info.Size()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}
+
+// listSegments returns the WAL segments in dir, ascending by sequence.
+func listSegments(dir string) ([]segmentInfo, error) {
+	return listNumbered(dir, segmentPrefix, segmentSuffix)
+}
+
+// validPrefixLen scans a segment and returns the byte length of its
+// valid record prefix — everything after it is a torn tail. Real I/O
+// failures propagate; they must not be mistaken for a tear and
+// truncated away.
+func validPrefixLen(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var off int64
+	for {
+		e, err := readRecord(r)
+		if err == io.EOF || err == ErrTorn {
+			return off, nil // valid prefix ends here
+		}
+		if err != nil {
+			return 0, err
+		}
+		off += recordSize(e)
+	}
+}
+
+// WALStats are the log's counters, reported on /stats.
+type WALStats struct {
+	// Appended counts records written since open.
+	Appended int64 `json:"appended"`
+	// Synced counts fsync calls since open.
+	Synced int64 `json:"synced"`
+	// Bytes counts record bytes written since open.
+	Bytes int64 `json:"bytes"`
+	// Segments is the number of live segment files.
+	Segments int64 `json:"segments"`
+	// SegmentSeq is the sequence number of the active segment.
+	SegmentSeq int64 `json:"segment_seq"`
+	// Policy is the fsync policy name.
+	Policy string `json:"policy"`
+}
+
+// WAL is the append-only, segment-rotated write-ahead log. It is safe
+// for concurrent use.
+type WAL struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	bw       *bufio.Writer
+	seq      int64 // active segment
+	firstSeq int64 // oldest retained segment
+	size     int64 // bytes in the active segment
+	scratch  []byte
+	dirty    bool  // bytes written since last fsync
+	err      error // sticky async-fsync failure, surfaced by the next Append
+	closed   bool
+
+	appended int64
+	bytes    int64
+	synced   atomic.Int64 // fsyncs may complete outside mu
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// OpenWAL opens (or creates) the log in dir, truncating any torn tail
+// left in the newest segment by a crash, and continues appending to it.
+// Callers that need the torn records replayed must run Replay before
+// OpenWAL truncates them away — Open is destructive to the torn tail by
+// design (an append after a torn record would otherwise be unreachable
+// to every future replay, which stops at the tear).
+func OpenWAL(dir string, opts Options) (*WAL, error) {
+	opts.defaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: creating wal dir: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: listing segments: %w", err)
+	}
+	w := &WAL{dir: dir, opts: opts, seq: 1, firstSeq: 1}
+	if len(segs) == 0 {
+		if err := w.createSegment(1); err != nil {
+			return nil, err
+		}
+	} else {
+		last := segs[len(segs)-1]
+		valid, err := validPrefixLen(last.path)
+		if err != nil {
+			return nil, fmt.Errorf("durable: scanning %s: %w", last.path, err)
+		}
+		f, err := os.OpenFile(last.path, os.O_WRONLY, 0)
+		if err != nil {
+			return nil, fmt.Errorf("durable: opening segment: %w", err)
+		}
+		if valid < last.size {
+			if err := f.Truncate(valid); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("durable: truncating torn tail: %w", err)
+			}
+		}
+		if _, err := f.Seek(valid, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		w.f = f
+		w.bw = bufio.NewWriterSize(f, 1<<16)
+		w.seq = last.seq
+		w.firstSeq = segs[0].seq
+		w.size = valid
+	}
+	if opts.Sync == SyncInterval {
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.syncLoop(w.stop, w.done)
+	}
+	return w, nil
+}
+
+func (w *WAL) createSegment(seq int64) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(seq)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: creating segment: %w", err)
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 1<<16)
+	w.seq = seq
+	w.size = 0
+	return nil
+}
+
+// syncLoop receives its channels as arguments (not via the struct
+// fields) because stopSyncLoop nils the fields under the mutex while
+// this goroutine selects without it.
+func (w *WAL) syncLoop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(w.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			w.Sync()
+		}
+	}
+}
+
+// Append writes one record. Under SyncAlways it is durable on return;
+// under SyncInterval/SyncNone it is buffered and a crash may lose it.
+func (w *WAL) Append(e Event) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("durable: append on closed WAL")
+	}
+	// A sticky async-fsync failure is surfaced on the next append — but
+	// the current record is still written first: its mutation is already
+	// applied in memory, so dropping it would punch a hole in the log
+	// that replay cannot see.
+	sticky := w.err
+	w.err = nil
+	w.scratch = appendRecord(w.scratch[:0], e)
+	if _, err := w.bw.Write(w.scratch); err != nil {
+		return fmt.Errorf("durable: appending record: %w", err)
+	}
+	n := int64(len(w.scratch))
+	w.size += n
+	w.bytes += n
+	w.appended++
+	w.dirty = true
+	if w.opts.Sync == SyncAlways {
+		if err := w.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if w.size >= w.opts.SegmentBytes {
+		// Size-triggered rotation retires the old segment with an
+		// asynchronous fsync under the interval/none policies: their
+		// durability promise is already tick-bounded, so the write path
+		// must not stall for a multi-megabyte writeback. The explicit
+		// Rotate() used by checkpoints stays fully synchronous.
+		if _, err := w.rotateLocked(w.opts.Sync == SyncAlways); err != nil {
+			return err
+		}
+	}
+	if sticky != nil {
+		return fmt.Errorf("%w: %v", ErrDeferredSync, sticky)
+	}
+	return nil
+}
+
+// syncLocked flushes and fsyncs unconditionally — not gated on dirty.
+// The out-of-lock Sync clears dirty before its fsync lands, so a
+// concurrent Rotate/Close that trusted the flag could close the file
+// with that fsync still pending; paying an occasional no-op fsync here
+// is what makes "retired segments are durable before close" true.
+func (w *WAL) syncLocked() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("durable: flushing: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: fsync: %w", err)
+	}
+	w.dirty = false
+	w.synced.Add(1)
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the active segment. The
+// fsync happens outside the append lock (group-commit style): writers
+// keep appending into the buffer while the disk persists what was
+// flushed, so the background sync tick never stalls the write paths
+// for the duration of a writeback.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	if w.closed || !w.dirty {
+		w.mu.Unlock()
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.mu.Unlock()
+		return fmt.Errorf("durable: flushing: %w", err)
+	}
+	w.dirty = false
+	f := w.f
+	w.mu.Unlock()
+	if err := f.Sync(); err != nil {
+		if errors.Is(err, os.ErrClosed) {
+			// A concurrent synchronous rotation retired this segment;
+			// syncLocked fsyncs unconditionally before the close, so the
+			// flushed data is durable without this (uncounted) fsync.
+			return nil
+		}
+		// Any other failure (ENOSPC, EIO) must not vanish into the sync
+		// loop: re-mark the segment dirty so the next tick retries, and
+		// leave a sticky error for the next Append to surface.
+		err = fmt.Errorf("durable: fsync: %w", err)
+		w.mu.Lock()
+		w.dirty = true
+		if w.err == nil {
+			w.err = err
+		}
+		w.mu.Unlock()
+		return err
+	}
+	w.synced.Add(1)
+	return nil
+}
+
+// Rotate closes the active segment (flushed and fsynced) and starts a
+// new one, returning the new segment's sequence number. The checkpointer
+// calls it inside the mutation barrier so the new segment is the exact
+// WAL position its snapshot covers up to.
+func (w *WAL) Rotate() (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("durable: rotate on closed WAL")
+	}
+	return w.rotateLocked(true)
+}
+
+func (w *WAL) rotateLocked(syncOld bool) (int64, error) {
+	if syncOld {
+		if err := w.syncLocked(); err != nil {
+			return 0, err
+		}
+		if err := w.f.Close(); err != nil {
+			return 0, err
+		}
+	} else {
+		if err := w.bw.Flush(); err != nil {
+			return 0, fmt.Errorf("durable: flushing: %w", err)
+		}
+		w.dirty = false
+		go func(f *os.File) {
+			err := f.Sync()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				w.mu.Lock()
+				if w.err == nil {
+					w.err = fmt.Errorf("durable: retiring segment: %w", err)
+				}
+				w.mu.Unlock()
+				return
+			}
+			w.synced.Add(1)
+		}(w.f)
+	}
+	if err := w.createSegment(w.seq + 1); err != nil {
+		return 0, err
+	}
+	return w.seq, nil
+}
+
+// RemoveSegmentsBelow deletes segments with sequence < seq (never the
+// active one). The checkpointer calls it after its snapshot is durable.
+func (w *WAL) RemoveSegmentsBelow(seq int64) error {
+	w.mu.Lock()
+	if seq > w.seq {
+		seq = w.seq
+	}
+	w.mu.Unlock()
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if s.seq >= seq {
+			continue
+		}
+		if err := os.Remove(s.path); err != nil {
+			return fmt.Errorf("durable: removing segment %d: %w", s.seq, err)
+		}
+	}
+	w.mu.Lock()
+	if seq > w.firstSeq {
+		w.firstSeq = seq
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+// Stats snapshots the counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WALStats{
+		Appended:   w.appended,
+		Synced:     w.synced.Load(),
+		Bytes:      w.bytes,
+		Segments:   w.seq - w.firstSeq + 1,
+		SegmentSeq: w.seq,
+		Policy:     w.opts.Sync.String(),
+	}
+}
+
+// Close flushes, fsyncs and closes the log.
+func (w *WAL) Close() error {
+	w.stopSyncLoop()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// Abandon drops the log without flushing buffered records — the
+// crash-simulation path used by tests and the load generator's -restart
+// workload: whatever the OS has not been handed is lost, exactly as in
+// a process kill.
+func (w *WAL) Abandon() {
+	w.stopSyncLoop()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	w.f.Close()
+}
+
+func (w *WAL) stopSyncLoop() {
+	w.mu.Lock()
+	stop, done := w.stop, w.done
+	w.stop = nil
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}

@@ -31,8 +31,10 @@ type Server struct {
 	warmLat latencyAgg
 	coldLat latencyAgg
 	// warmerStats, when set, contributes the precompute scheduler's
-	// counters to /stats.
-	warmerStats func() interface{}
+	// counters to /stats; durabilityStats likewise for the WAL and
+	// checkpoint counters.
+	warmerStats     func() interface{}
+	durabilityStats func() interface{}
 }
 
 // NewServer wraps a System.

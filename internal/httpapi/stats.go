@@ -65,11 +65,19 @@ type StatsView struct {
 	Feedback feedback.Stats  `json:"feedback"`
 	Locks    pphcr.LockStats `json:"locks"`
 	Warmer   interface{}     `json:"warmer,omitempty"`
+	// Durability reports the WAL and checkpoint counters (appended,
+	// synced, replayed, segments, bytes, last-checkpoint age) when the
+	// server runs with a data directory.
+	Durability interface{} `json:"durability,omitempty"`
 }
 
 // SetWarmerStats attaches a provider of precompute-scheduler counters to
 // the /stats endpoint (the server passes the Warmer's Stats method).
 func (s *Server) SetWarmerStats(fn func() interface{}) { s.warmerStats = fn }
+
+// SetDurabilityStats attaches a provider of durability counters to the
+// /stats endpoint (the server passes the Durability's Stats method).
+func (s *Server) SetDurabilityStats(fn func() interface{}) { s.durabilityStats = fn }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
@@ -85,6 +93,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	view.Locks = s.sys.LockStats()
 	if s.warmerStats != nil {
 		view.Warmer = s.warmerStats()
+	}
+	if s.durabilityStats != nil {
+		view.Durability = s.durabilityStats()
 	}
 	writeJSON(w, http.StatusOK, view)
 }

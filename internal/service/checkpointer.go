@@ -1,0 +1,81 @@
+package service
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"pphcr"
+)
+
+// Checkpointer is the durability background worker, running beside the
+// Compactor and the Warmer: on a fixed interval it asks the durability
+// layer for a full checkpoint (atomic snapshot + WAL truncation), so
+// recovery time after a crash stays bounded by one interval's worth of
+// WAL replay instead of growing with uptime.
+type Checkpointer struct {
+	// Interval between checkpoints. Default 1 minute.
+	Interval time.Duration
+	// Logf reports checkpoint failures (default log.Printf); checkpoints
+	// must keep being attempted after a transient disk error, not stop
+	// the worker.
+	Logf func(format string, args ...interface{})
+
+	dur  *pphcr.Durability
+	runs atomic.Int64
+	errs atomic.Int64
+}
+
+// NewCheckpointer wraps a Durability in the service worker shape.
+func NewCheckpointer(dur *pphcr.Durability) (*Checkpointer, error) {
+	if dur == nil {
+		return nil, fmt.Errorf("service: checkpointer requires a durability layer")
+	}
+	return &Checkpointer{Interval: time.Minute, Logf: log.Printf, dur: dur}, nil
+}
+
+// Poll takes one checkpoint now.
+func (c *Checkpointer) Poll() error {
+	c.runs.Add(1)
+	if err := c.dur.Checkpoint(); err != nil {
+		c.errs.Add(1)
+		return err
+	}
+	return nil
+}
+
+// Run checkpoints every Interval until stop is closed. Intended to run
+// as a goroutine in the server binary, alongside Compactor.Run and
+// Warmer.Run. A non-positive Interval disables periodic checkpoints
+// (the repo-wide 0-disables convention); the shutdown checkpoint still
+// happens via Durability.Close.
+func (c *Checkpointer) Run(stop <-chan struct{}) {
+	if c.Interval <= 0 {
+		<-stop
+		return
+	}
+	t := time.NewTicker(c.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if err := c.Poll(); err != nil && c.Logf != nil {
+				c.Logf("service: checkpoint failed: %v", err)
+			}
+		}
+	}
+}
+
+// CheckpointerStats are the worker's counters.
+type CheckpointerStats struct {
+	Runs   int64 `json:"runs"`
+	Errors int64 `json:"errors"`
+}
+
+// Stats snapshots the counters.
+func (c *Checkpointer) Stats() CheckpointerStats {
+	return CheckpointerStats{Runs: c.runs.Load(), Errors: c.errs.Load()}
+}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"pphcr"
+	"pphcr/internal/durable"
+	"pphcr/internal/synth"
+)
+
+func TestCheckpointerPollAndRun(t *testing.T) {
+	w, err := synth.GenerateWorld(synth.Params{
+		Seed: 9, Days: 2, Users: 1, Stations: 2, PodcastsPerDay: 5,
+		TrainingDocsPerCategory: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := pphcr.New(pphcr.Config{TrainingDocs: w.Training, Vocabulary: w.FlatVocab, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur, err := pphcr.OpenDurability(sys, pphcr.DurabilityOptions{Dir: t.TempDir(), Sync: durable.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dur.Close()
+	if err := sys.RegisterUser(w.Personas[0].Profile); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := NewCheckpointer(dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if st := cp.Stats(); st.Runs != 1 || st.Errors != 0 {
+		t.Fatalf("stats after poll: %+v", st)
+	}
+	if ds := dur.Stats(); ds.Checkpoints != 1 {
+		t.Fatalf("durability saw %d checkpoints", ds.Checkpoints)
+	}
+
+	// Run drives checkpoints off the ticker until stopped.
+	cp.Interval = 5 * time.Millisecond
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { cp.Run(stop); close(done) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for cp.Stats().Runs < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker checkpoints never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+
+	if _, err := NewCheckpointer(nil); err == nil {
+		t.Fatal("nil durability accepted")
+	}
+
+	// Interval 0 disables periodic checkpoints instead of panicking.
+	cp.Interval = 0
+	before := cp.Stats().Runs
+	stop2 := make(chan struct{})
+	done2 := make(chan struct{})
+	go func() { cp.Run(stop2); close(done2) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop2)
+	<-done2
+	if got := cp.Stats().Runs; got != before {
+		t.Fatalf("disabled checkpointer still ran (%d -> %d)", before, got)
+	}
+}

@@ -127,10 +127,23 @@ type CompactModel struct {
 // cluster endpoints into staying points, simplify each trip with RDP,
 // compute speed and complexity, and fit the mobility model.
 func (t *Tracker) Compact(userID string, params CompactParams) (*CompactModel, error) {
+	return t.CompactN(userID, params, -1)
+}
+
+// CompactN compacts only the first n fixes of the user's trace (all of
+// them when n is negative or past the end). Compaction is deterministic
+// in the trace prefix, which is what makes the durability subsystem's
+// recovery exact: a snapshot records how many fixes each user's live
+// mobility model was built from, and recovery re-derives the identical
+// model from that prefix even though more fixes arrived afterwards.
+func (t *Tracker) CompactN(userID string, params CompactParams, n int) (*CompactModel, error) {
 	if params.TripGap <= 0 || params.MinFixes <= 0 {
 		params = DefaultCompactParams()
 	}
 	raw := t.Trace(userID)
+	if n >= 0 && n < len(raw) {
+		raw = raw[:n]
+	}
 	if len(raw) == 0 {
 		return nil, fmt.Errorf("tracking: no fixes for %q", userID)
 	}

@@ -5,6 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+
+	"pphcr/internal/durable"
+	"pphcr/internal/tracking"
 )
 
 // snapshotEnvelope is the versioned on-disk format of a full system
@@ -16,15 +20,30 @@ type snapshotEnvelope struct {
 	Profiles json.RawMessage `json:"profiles"`
 	Feedback json.RawMessage `json:"feedback"`
 	Tracking json.RawMessage `json:"tracking"`
+	// Compacted (v2) is the mobility-model provenance: user → number of
+	// trace fixes their live model was compacted from. The model itself
+	// is derived state — Restore re-runs the (deterministic) compaction
+	// on exactly that prefix, reproducing it bit for bit without
+	// serializing the model.
+	Compacted map[string]int `json:"compacted,omitempty"`
+	// Injected (v2) is the pending editorial injection queue per user.
+	Injected map[string][]string `json:"injected,omitempty"`
 }
 
-const snapshotVersion = 1
+const snapshotVersion = 2
 
 // Snapshot serializes the system's durable state — content repository,
-// profiles, feedback and raw tracking — as one JSON document. Derived
-// state (spatial indexes, mobility models, pending injections) is
-// rebuilt after Restore; mobility models specifically require re-running
-// CompactTracking, as in a fresh deployment.
+// profiles, feedback, raw tracking, mobility-model provenance and
+// pending editorial injections — as one JSON document. Remaining
+// derived state (spatial indexes, plan caches, last plans) is rebuilt
+// lazily after Restore, as in a fresh deployment.
+//
+// Each store is captured under its own lock; for a cross-store
+// consistent snapshot the write paths must be quiesced — the
+// checkpointer runs Snapshot inside the mutation barrier and
+// SaveSnapshot takes it itself. A snapshot raced by writers can pair a
+// mobility provenance with a tracking capture that predates it, which
+// Restore rejects.
 func (s *System) Snapshot(w io.Writer) error {
 	var env snapshotEnvelope
 	env.Version = snapshotVersion
@@ -48,17 +67,35 @@ func (s *System) Snapshot(w io.Writer) error {
 	if env.Tracking, err = capture("tracking", s.Tracker.Snapshot); err != nil {
 		return err
 	}
+	env.Compacted = make(map[string]int)
+	env.Injected = make(map[string][]string)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.rlockShard(sh)
+		for u, n := range sh.compactN {
+			env.Compacted[u] = n
+		}
+		for u, ids := range sh.injected {
+			if len(ids) > 0 {
+				env.Injected[u] = append([]string(nil), ids...)
+			}
+		}
+		sh.mu.RUnlock()
+	}
 	return json.NewEncoder(w).Encode(env)
 }
 
 // Restore loads a Snapshot into a freshly constructed System (same
-// Config). All stores must be empty.
+// Config). All stores must be empty. Mobility models are re-derived
+// from the snapshot's per-user compaction provenance; v1 snapshots
+// (which carried none) restore with cold mobility state, exactly as
+// before.
 func (s *System) Restore(r io.Reader) error {
 	var env snapshotEnvelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
 		return fmt.Errorf("pphcr: decoding snapshot: %w", err)
 	}
-	if env.Version != snapshotVersion {
+	if env.Version < 1 || env.Version > snapshotVersion {
 		return fmt.Errorf("pphcr: unsupported snapshot version %d", env.Version)
 	}
 	if err := s.Repo.Restore(bytes.NewReader(env.Repo)); err != nil {
@@ -73,5 +110,55 @@ func (s *System) Restore(r io.Reader) error {
 	if err := s.Tracker.Restore(bytes.NewReader(env.Tracking)); err != nil {
 		return err
 	}
+	for u, n := range env.Compacted {
+		if got := s.Tracker.FixCount(u); n > got {
+			// A provenance that exceeds the restored trace means the
+			// snapshot was captured while writers raced it (plain
+			// Snapshot without the barrier); rebuilding from the
+			// shorter trace would silently install a model the live
+			// system never had.
+			return fmt.Errorf("pphcr: inconsistent snapshot: %q compacted from %d fixes but trace holds %d", u, n, got)
+		}
+		cm, err := s.Tracker.CompactN(u, tracking.DefaultCompactParams(), n)
+		if err != nil {
+			return fmt.Errorf("pphcr: rebuilding mobility model for %q: %w", u, err)
+		}
+		sh := s.shardFor(u)
+		s.lockShard(sh)
+		sh.mobility[u] = cm
+		sh.compactN[u] = n
+		sh.mu.Unlock()
+	}
+	for u, ids := range env.Injected {
+		sh := s.shardFor(u)
+		s.lockShard(sh)
+		sh.injected[u] = append([]string(nil), ids...)
+		sh.mu.Unlock()
+	}
 	return nil
+}
+
+// SaveSnapshot writes a Snapshot to path atomically: the bytes go to a
+// temp file in the same directory, are fsynced, and renamed into place,
+// so a crash mid-write can never corrupt (or half-overwrite) the only
+// copy. Every file-level snapshot in this repo goes through this path.
+// The write paths are paused for the duration (see Snapshot), so the
+// file is cross-store consistent even on a live system.
+func (s *System) SaveSnapshot(path string) error {
+	var err error
+	s.checkpointBarrier(func() {
+		err = durable.WriteFileAtomic(path, s.Snapshot)
+	})
+	return err
+}
+
+// LoadSnapshot restores a snapshot file written by SaveSnapshot (or an
+// extracted checkpoint) into a freshly constructed System.
+func (s *System) LoadSnapshot(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Restore(f)
 }

@@ -23,6 +23,7 @@
 package pphcr
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -35,6 +36,7 @@ import (
 	"pphcr/internal/content"
 	"pphcr/internal/core"
 	"pphcr/internal/distraction"
+	"pphcr/internal/durable"
 	"pphcr/internal/feedback"
 	"pphcr/internal/pipeline"
 	"pphcr/internal/plancache"
@@ -84,8 +86,13 @@ const DefaultUserShards = 32
 // the same mutex — the seed serialized all of them behind one global
 // lock.
 type userShard struct {
-	mu        sync.RWMutex
-	mobility  map[string]*tracking.CompactModel
+	mu       sync.RWMutex
+	mobility map[string]*tracking.CompactModel
+	// compactN records how many fixes of the user's trace the mobility
+	// model was compacted from — the provenance a snapshot needs so
+	// recovery can re-derive the byte-identical model from the same
+	// trace prefix (compaction is deterministic in its input).
+	compactN  map[string]int
 	injected  map[string][]string // user -> editorially injected item IDs
 	lastPlans map[string]*TripPlan
 }
@@ -127,6 +134,24 @@ type System struct {
 	shardMask     uint32
 	lockOps       atomic.Int64
 	lockContended atomic.Int64
+
+	// durMu fences the durable write paths against the checkpointer:
+	// every mutating entry point applies its state change AND emits its
+	// WAL event inside one read-locked section, and the checkpointer
+	// takes the write lock to snapshot + rotate the WAL at a point where
+	// state and log agree exactly (no applied-but-unlogged or
+	// logged-but-unapplied mutation can straddle the boundary).
+	durMu sync.RWMutex
+	// durHook, when set, receives exactly one durable event per
+	// completed mutation. Set via SetMutationHook before serving.
+	durHook func(durable.Event) error
+	// ingestMu pins WAL order to apply order for the (userless) ingest
+	// path the way the shard locks do for per-user mutations.
+	ingestMu sync.Mutex
+	// emitErrs counts hook failures on the two paths whose signatures
+	// cannot propagate them (consume, feedback-compact); /stats surfaces
+	// it via DurabilityStats.
+	emitErrs atomic.Int64
 }
 
 // FNV-1a, inlined: shardFor sits on the request fast path and must not
@@ -229,6 +254,7 @@ func New(cfg Config) (*System, error) {
 	}
 	for i := range s.shards {
 		s.shards[i].mobility = make(map[string]*tracking.CompactModel)
+		s.shards[i].compactN = make(map[string]int)
 		s.shards[i].injected = make(map[string][]string)
 		s.shards[i].lastPlans = make(map[string]*TripPlan)
 	}
@@ -250,9 +276,53 @@ func (s *System) PipelineStats() pipeline.Stats {
 	return s.pipe.Stats()
 }
 
+// SetMutationHook installs the durability hook: from now on every
+// write-path entry point hands exactly one durable event describing its
+// completed mutation to fn, inside the same critical section that
+// applied it. OpenDurability installs the WAL appender here after
+// recovery; tests may install capture hooks. Passing nil detaches.
+//
+// A hook error is returned to the entry point's caller (the mutation is
+// already applied in memory — the next checkpoint still persists it —
+// but the caller learns its write is not yet logged).
+func (s *System) SetMutationHook(fn func(durable.Event) error) {
+	s.durMu.Lock()
+	s.durHook = fn
+	s.durMu.Unlock()
+}
+
+// emit marshals payload and hands the typed event to the mutation hook.
+// Callers must hold durMu (read side).
+func (s *System) emit(t durable.Type, payload interface{}) error {
+	if s.durHook == nil {
+		return nil
+	}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("pphcr: encoding %s event: %w", t, err)
+	}
+	if err := s.durHook(durable.Event{Type: t, Payload: b}); err != nil {
+		return fmt.Errorf("pphcr: logging %s event: %w", t, err)
+	}
+	return nil
+}
+
+// checkpointBarrier runs fn with every durable write path excluded, so
+// fn observes a state that exactly matches a WAL position.
+func (s *System) checkpointBarrier(fn func()) {
+	s.durMu.Lock()
+	defer s.durMu.Unlock()
+	fn()
+}
+
 // RegisterUser stores a listener profile.
 func (s *System) RegisterUser(p profile.Profile) error {
+	s.durMu.RLock()
+	defer s.durMu.RUnlock()
 	if err := s.Profiles.Put(p); err != nil {
+		return err
+	}
+	if err := s.emit(durable.TypeRegister, p); err != nil {
 		return err
 	}
 	s.Broker.Publish("users.registered", []byte(p.UserID))
@@ -260,35 +330,124 @@ func (s *System) RegisterUser(p profile.Profile) error {
 }
 
 // IngestPodcast runs the clip-data-management pipeline on one podcast.
+//
+// The durable event is emitted *before* the item enters the
+// repository, and carries the *classified* item rather than the raw
+// podcast: replaying raw audio through the ASR would consume different
+// simulated-randomness than the original run, and logging after the
+// add would let a concurrent Inject (which can only see the item once
+// added) reach the WAL ahead of the item's own creation, making the
+// log unreplayable.
 func (s *System) IngestPodcast(raw content.RawPodcast) (*content.Item, error) {
-	it, err := s.ingest.Ingest(raw)
+	// Process (ASR + classification, the slowest operation in the
+	// system) mutates nothing and runs outside every lock: holding the
+	// durability read lock across it would park a pending checkpoint
+	// barrier — and with it every other write path — behind the
+	// slowest in-flight ingest.
+	it, err := s.ingest.Process(raw)
 	if err != nil {
 		return nil, err
 	}
-	// New content changes every user's candidate set: mark all warm plans
-	// stale (O(1) epoch bump); the precompute scheduler re-warms them.
-	s.PlanCache.InvalidateAll()
+	s.durMu.RLock()
+	defer s.durMu.RUnlock()
+	// emit + Add under one mutex, mirroring the per-user shard locking
+	// of the other write paths: two concurrent ingests of the same ID
+	// must reach the WAL in their apply order, or replay would keep the
+	// loser's item instead of the winner's.
+	s.ingestMu.Lock()
+	err = s.emit(durable.TypeIngest, it)
+	added := false
+	if err == nil || errors.Is(err, durable.ErrDeferredSync) {
+		// ErrDeferredSync means an *earlier* fsync failed but THIS
+		// record is in the log — the item must still be added, or
+		// replay would resurrect an item the live system never served.
+		// On Add failure the WAL holds an event whose apply failed
+		// (duplicate ID, invalid duration); restoreItem skips it on
+		// replay the same way, so recovered state still matches.
+		if aerr := s.ingest.Repo.Add(it); aerr != nil {
+			err = aerr
+		} else {
+			added = true
+		}
+	}
+	s.ingestMu.Unlock()
+	if added {
+		// New content changes every user's candidate set: mark all warm
+		// plans stale (O(1) epoch bump) whether or not the append
+		// reported a durability problem; the precompute scheduler
+		// re-warms them.
+		s.PlanCache.InvalidateAll()
+	}
+	if err != nil {
+		return nil, err
+	}
 	s.Broker.Publish("content.ingested."+it.TopCategory(), []byte(it.ID))
 	return it, nil
 }
 
+// restoreItem inserts an already-classified item — the WAL replay path
+// of IngestPodcast (the event payload is the classified item, so the
+// ingestion pipeline is not re-run). An Add failure is skipped, not
+// fatal: the event was logged before the live Add ran, so a record
+// whose apply failed live (duplicate ID, invalid duration) fails here
+// identically — skipping reproduces the live outcome.
+func (s *System) restoreItem(it *content.Item) error {
+	s.durMu.RLock()
+	defer s.durMu.RUnlock()
+	if err := s.Repo.Add(it); err != nil {
+		return nil
+	}
+	s.PlanCache.InvalidateAll()
+	s.Broker.Publish("content.ingested."+it.TopCategory(), []byte(it.ID))
+	return nil
+}
+
 // RecordFix ingests one GPS sample for a user.
+//
+// Apply and WAL emit happen under the user's shard lock: two concurrent
+// same-user mutations must reach the log in their apply order, or
+// replay would reconstruct a state the live system never had (an
+// out-of-order fix pair would even fail recovery outright).
 func (s *System) RecordFix(userID string, fix trajectory.Fix) error {
-	if err := s.Tracker.Record(userID, fix); err != nil {
+	s.durMu.RLock()
+	defer s.durMu.RUnlock()
+	sh := s.shardFor(userID)
+	s.lockShard(sh)
+	err := s.Tracker.Record(userID, fix)
+	if err == nil {
+		err = s.emit(durable.TypeFix, fixEvent{User: userID, Fix: fix})
+	}
+	sh.mu.Unlock()
+	if err != nil {
 		return err
 	}
 	s.Broker.Publish("tracking.gps", []byte(userID))
 	return nil
 }
 
-// AddFeedback stores one feedback event.
+// AddFeedback stores one feedback event. Apply + emit run under the
+// user's shard lock so the WAL preserves per-user apply order (see
+// RecordFix).
 func (s *System) AddFeedback(e feedback.Event) error {
-	if err := s.Feedback.Append(e); err != nil {
+	s.durMu.RLock()
+	defer s.durMu.RUnlock()
+	sh := s.shardFor(e.UserID)
+	s.lockShard(sh)
+	err := s.Feedback.Append(e)
+	applied := err == nil
+	if applied {
+		err = s.emit(durableTypeForKind(e.Kind), e)
+	}
+	sh.mu.Unlock()
+	if applied {
+		// The event is in the store whether or not the WAL append
+		// succeeded, so the user's warm plans no longer reflect the
+		// ranking inputs and must be invalidated either way.
+		s.PlanCache.InvalidateUser(e.UserID)
+	}
+	if err != nil {
 		return err
 	}
-	// Feedback shifts the user's preference vector, so their warm plans
-	// no longer reflect the ranking inputs.
-	s.PlanCache.InvalidateUser(e.UserID)
 	s.Broker.Publish("feedback."+e.Kind.String(), []byte(e.UserID))
 	return nil
 }
@@ -296,17 +455,40 @@ func (s *System) AddFeedback(e feedback.Event) error {
 // CompactTracking runs the periodic tracking compaction for a user and
 // caches the resulting mobility model.
 func (s *System) CompactTracking(userID string) (*tracking.CompactModel, error) {
-	cm, err := s.Tracker.Compact(userID, tracking.DefaultCompactParams())
+	s.durMu.RLock()
+	defer s.durMu.RUnlock()
+	return s.compactTracking(userID, -1)
+}
+
+// compactTracking compacts the user's first n fixes (the live count
+// when n < 0) and installs the model. The count is pinned, the model
+// installed and the WAL event emitted under the user's shard lock, and
+// the event carries the pinned count, so replay re-derives the model
+// from exactly the same trace prefix no matter how concurrent fixes
+// interleaved with the compaction. Callers hold durMu (read side).
+func (s *System) compactTracking(userID string, n int) (*tracking.CompactModel, error) {
+	sh := s.shardFor(userID)
+	s.lockShard(sh)
+	if n < 0 {
+		n = s.Tracker.FixCount(userID)
+	}
+	cm, err := s.Tracker.CompactN(userID, tracking.DefaultCompactParams(), n)
+	if err != nil {
+		sh.mu.Unlock()
+		return nil, err
+	}
+	sh.mobility[userID] = cm
+	sh.compactN[userID] = n
+	err = s.emit(durable.TypeCompact, compactEvent{User: userID, N: n})
+	sh.mu.Unlock()
+	// The model is installed whether or not the WAL append succeeded,
+	// and re-compaction renumbers the user's staying points — cached
+	// keys (which embed PlaceIDs) must not survive it, emit error or
+	// not.
+	s.PlanCache.InvalidateUser(userID)
 	if err != nil {
 		return nil, err
 	}
-	sh := s.shardFor(userID)
-	s.lockShard(sh)
-	sh.mobility[userID] = cm
-	sh.mu.Unlock()
-	// Re-compaction renumbers the user's staying points, so cached keys
-	// (which embed PlaceIDs) must not survive it.
-	s.PlanCache.InvalidateUser(userID)
 	s.Broker.Publish("tracking.compacted", []byte(userID))
 	return cm, nil
 }
@@ -362,8 +544,18 @@ func (s *System) Preferences(userID string, now time.Time) map[string]float64 {
 // every event), so warm plans stay valid and no cache invalidation is
 // needed. It returns the number of events folded away.
 func (s *System) CompactFeedback(userID string, now time.Time, horizon time.Duration) int {
+	s.durMu.RLock()
+	defer s.durMu.RUnlock()
 	n := s.Feedback.Compact(userID, now, horizon)
 	if n > 0 {
+		// The fold is deterministic in (user, now, horizon), so the WAL
+		// event records the arguments and replay re-runs the fold. The
+		// signature cannot propagate an emit failure, so it is counted
+		// (surfaced on /stats) — and the WAL's sticky error resurfaces
+		// on the next mutation anyway.
+		if err := s.emit(durable.TypeFeedbackCompact, feedbackCompactEvent{User: userID, At: now, Horizon: horizon}); err != nil {
+			s.emitErrs.Add(1)
+		}
 		// Deliberately NOT under "feedback.#": compaction does not change
 		// the preference vector, so it must not trigger plan re-warming.
 		s.Broker.Publish("prefs.compacted", []byte(userID))
@@ -408,11 +600,23 @@ func (s *System) Recommend(userID string, ctx recommend.Context, k int) []recomm
 // can drop them from the organic ranking. Shared by Recommend and the
 // skip replacement path so the pinning semantics cannot drift.
 func (s *System) consumeInjections(userID string) (pinned []recommend.Scored, seen map[string]bool) {
+	s.durMu.RLock()
 	sh := s.shardFor(userID)
 	s.lockShard(sh)
 	pinnedIDs := sh.injected[userID]
 	delete(sh.injected, userID)
+	if len(pinnedIDs) > 0 {
+		// Consumption mutates durable state (inject-once semantics must
+		// survive a crash, or recovered users see duplicate injections).
+		// Emitted under the shard lock so a racing Inject for the same
+		// user cannot land in the WAL on the wrong side of this consume;
+		// the signature cannot propagate a failure, so it is counted.
+		if err := s.emit(durable.TypeConsume, consumeEvent{User: userID}); err != nil {
+			s.emitErrs.Add(1)
+		}
+	}
 	sh.mu.Unlock()
+	s.durMu.RUnlock()
 	if len(pinnedIDs) == 0 {
 		return nil, nil
 	}
@@ -430,13 +634,19 @@ func (s *System) consumeInjections(userID string) (pinned []recommend.Scored, se
 // dashboard's "inject recommended audio content to specific users",
 // §2 and Fig 6).
 func (s *System) Inject(userID, itemID string) error {
+	s.durMu.RLock()
+	defer s.durMu.RUnlock()
 	if _, ok := s.Repo.Get(itemID); !ok {
 		return fmt.Errorf("pphcr: cannot inject unknown item %q", itemID)
 	}
 	sh := s.shardFor(userID)
 	s.lockShard(sh)
 	sh.injected[userID] = append(sh.injected[userID], itemID)
+	err := s.emit(durable.TypeInject, injectEvent{User: userID, Item: itemID})
 	sh.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	s.Broker.Publish("editorial.injected", []byte(userID+":"+itemID))
 	return nil
 }
