@@ -6,18 +6,27 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchtime 1x ./... | pphcr-benchjson > BENCH.json
+//	pphcr-benchjson -baseline BENCH_pr4.json -gate < bench.out > BENCH_pr5.json
 //
 // Alongside the full benchmark list, the document pulls out the
 // headline numbers this repo tracks: cold vs warm plan latency and the
 // replay vs incremental preference read.
+//
+// With -baseline and -gate, the tool compares this run's highlights
+// against the baseline document and exits 1 when any tier-1 highlight
+// regresses more than -gate-factor (default 1.5×) — ns metrics by
+// growing, speedup factors by shrinking — so a concurrency regression
+// like PR 4's global durability lock can never land silently again.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -63,7 +72,70 @@ var highlightNames = map[string]string{
 	"BenchmarkRecoveryReplay":           "recovery_replay_ns",
 }
 
+// gatedHighlights are the tier-1 highlights the regression gate
+// watches, with the direction a regression moves: ns-per-op metrics
+// regress by growing, speedup/throughput metrics by shrinking.
+// preferences_replay_ns is deliberately absent — it measures the
+// intentionally slow replay oracle.
+var gatedHighlights = map[string]bool{ // name -> lowerIsBetter
+	"concurrent_user_state_ns": true,
+	"plan_cache_concurrent_ns": true,
+	"feedback_append_ns":       true,
+	"plan_cold_ns":             true,
+	"plan_warm_ns":             true,
+	"wal_append_ns":            true,
+	"skip_topk_ns":             true,
+	"warm_batch_ns":            true,
+	"plan_speedup_x":           false,
+	"warm_batch_speedup_x":     false,
+	"skip_topk_speedup_x":      false,
+	"preferences_speedup_x":    false,
+	"recovery_events_per_sec":  false,
+}
+
+// gate compares this run's highlights against the baseline document and
+// returns one line per tier-1 highlight that regressed beyond factor.
+// Highlights missing from either side are skipped (a new benchmark has
+// no baseline; a retired one has no current value).
+func gate(baselinePath string, cur map[string]float64, factor float64) ([]string, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var base Output
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("parsing baseline: %w", err)
+	}
+	var failures []string
+	names := make([]string, 0, len(gatedHighlights))
+	for name := range gatedHighlights {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, okB := base.Highlights[name]
+		c, okC := cur[name]
+		if !okB || !okC || b <= 0 || c <= 0 {
+			continue
+		}
+		if gatedHighlights[name] {
+			if c > b*factor {
+				failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f ns (%.2fx worse, gate %.2fx)", name, b, c, c/b, factor))
+			}
+		} else if c < b/factor {
+			failures = append(failures, fmt.Sprintf("%s: %.2f -> %.2f (%.2fx worse, gate %.2fx)", name, b, c, b/c, factor))
+		}
+	}
+	return failures, nil
+}
+
 func main() {
+	var (
+		baseline   = flag.String("baseline", "", "previous BENCH_prN.json to gate this run's highlights against")
+		gateOn     = flag.Bool("gate", false, "exit 1 when a tier-1 highlight regresses beyond -gate-factor vs -baseline")
+		gateFactor = flag.Float64("gate-factor", 1.5, "regression factor the gate tolerates")
+	)
+	flag.Parse()
 	out := Output{Highlights: map[string]float64{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -143,5 +215,20 @@ func main() {
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintf(os.Stderr, "pphcr-benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	if *baseline != "" && *gateOn {
+		failures, err := gate(*baseline, out.Highlights, *gateFactor)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pphcr-benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "pphcr-benchjson: %d tier-1 highlight(s) regressed vs %s:\n", len(failures), *baseline)
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "  %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pphcr-benchjson: gate passed vs %s\n", *baseline)
 	}
 }

@@ -88,9 +88,16 @@ func main() {
 		batchSize  = flag.Int("batch", 16, "users per plan-batch op (0 disables the batch workload)")
 		restart    = flag.Bool("restart", false, "run with a WAL, kill the system mid-run, recover and report recovery time")
 		dataDir    = flag.String("data-dir", "", "durability directory for -restart (default: a temp dir)")
-		walSync    = flag.String("wal-sync", "interval", "WAL fsync policy for -restart: always, interval or none")
+		walSync    = flag.String("wal-sync", "interval", "WAL fsync policy for -restart/-contended: always, interval or none")
+		contended  = flag.Bool("contended", false, "run the contended write workload: -workers goroutines hammering -contended-users users through the WAL, reporting barrier-stripe contention and group-commit batch size")
+		contUsers  = flag.Int("contended-users", 4, "user population of the -contended workload (U ≪ workers)")
 	)
 	flag.Parse()
+
+	if *contended {
+		runContended(*workers, *contUsers, *ops, *seed, *walSync, *dataDir)
+		return
+	}
 
 	log.Printf("generating world (seed=%d users=%d days=%d)...", *seed, *users, *days)
 	w, err := synth.GenerateWorld(synth.Params{
@@ -351,6 +358,169 @@ func main() {
 	fmt.Printf("feedback index: users=%d live=%d compacted=%d index_reads=%d replay_reads=%d\n",
 		fb.Users, fb.LiveEvents, fb.CompactedEvents, fb.IndexReads, fb.ReplayReads)
 	fmt.Printf("plan cache: hits=%d misses=%d entries=%d\n", cache.Hits, cache.Misses, cache.Entries)
+}
+
+// runContended is the adversarial write workload for the striped commit
+// barrier and the group-commit WAL: G goroutines (G ≫ U) hammer durable
+// writes for U users, so barrier stripes, user shards and WAL staging
+// stripes all see maximal same-key contention — exactly the shape that
+// collapsed under PR 4's global durability lock. The report leads with
+// the two numbers this PR's regression fix is judged by: the
+// barrier-stripe contended fraction and the mean group-commit batch
+// size.
+func runContended(workers, users, ops int, seed int64, walSync, dataDir string) {
+	if users < 1 {
+		users = 1
+	}
+	log.Printf("contended workload: %d workers over %d users (%d ops, wal-sync=%s)", workers, users, ops, walSync)
+	w, err := synth.GenerateWorld(synth.Params{
+		Seed: seed, Days: 1, Users: users, Stations: 2,
+		PodcastsPerDay: 20, TrainingDocsPerCategory: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := pphcr.New(pphcr.Config{TrainingDocs: w.Training, Vocabulary: w.FlatVocab, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir := dataDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "pphcr-contended-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+	policy, err := durable.ParseSyncPolicy(walSync)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dur, err := pphcr.OpenDurability(sys, pphcr.DurabilityOptions{Dir: dir, Sync: policy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dur.Crash()
+
+	names := make([]string, users)
+	for i := 0; i < users; i++ {
+		p := w.Personas[i%len(w.Personas)].Profile
+		p.UserID = fmt.Sprintf("%s-c%02d", p.UserID, i)
+		names[i] = p.UserID
+		if err := sys.RegisterUser(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var items []*struct {
+		id   string
+		cats map[string]float64
+	}
+	for i, raw := range w.Corpus {
+		if i >= 10 {
+			break
+		}
+		it, err := sys.IngestPodcast(raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		items = append(items, &struct {
+			id   string
+			cats map[string]float64
+		}{it.ID, it.Categories})
+	}
+	base := w.Params.StartDate.AddDate(0, 0, w.Params.Days)
+
+	var (
+		next     atomic.Int64
+		rejected atomic.Int64
+		wg       sync.WaitGroup
+		all      = make([][]sample, workers)
+	)
+	timedStart := time.Now()
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(wk)*104729))
+			samples := make([]sample, 0, ops/workers+8)
+			for {
+				i := next.Add(1)
+				if i > int64(ops) {
+					break
+				}
+				u := names[rng.Intn(len(names))]
+				it := items[rng.Intn(len(items))]
+				op := opFeedback
+				t0 := time.Now()
+				if i%5 == 0 {
+					op = opFix
+					fix := trajectory.Fix{
+						Point: w.Personas[0].Profile.Hometown,
+						Time:  base.Add(time.Duration(i) * time.Millisecond),
+					}
+					if err := sys.RecordFix(u, fix); err != nil {
+						rejected.Add(1)
+					}
+				} else {
+					ev := feedback.Event{
+						UserID:     u,
+						ItemID:     it.id,
+						Kind:       feedback.Kind(i % 4),
+						At:         base.Add(time.Duration(i) * time.Millisecond),
+						Categories: it.cats,
+					}
+					if err := sys.AddFeedback(ev); err != nil {
+						rejected.Add(1)
+					}
+				}
+				samples = append(samples, sample{op: op, dur: time.Since(t0)})
+			}
+			all[wk] = samples
+		}(wk)
+	}
+	// A checkpointer quiescing mid-storm is part of the adversarial
+	// shape: every stripe must drain and refill under load.
+	stopCk := make(chan struct{})
+	var ckWg sync.WaitGroup
+	ckWg.Add(1)
+	go func() {
+		defer ckWg.Done()
+		t := time.NewTicker(250 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopCk:
+				return
+			case <-t.C:
+				if err := dur.Checkpoint(); err != nil {
+					log.Printf("checkpoint: %v", err)
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stopCk)
+	ckWg.Wait()
+	elapsed := time.Since(timedStart)
+
+	report(all, elapsed, rejected.Load())
+	ls := sys.LockStats()
+	ds := dur.Stats()
+	fmt.Printf("\nbarrier: stripes=%d ops=%d contended=%d (%.3f%%) quiesces=%d\n",
+		ls.Barrier.Stripes, ls.Barrier.Ops, ls.Barrier.Contended,
+		100*pct(ls.Barrier.Contended, ls.Barrier.Ops), ls.Barrier.Quiesces)
+	hot, hotIdx := int64(0), 0
+	for i, c := range ls.Barrier.PerStripeContended {
+		if c > hot {
+			hot, hotIdx = c, i
+		}
+	}
+	fmt.Printf("barrier hot stripe: #%d (%d contended acquisitions)\n", hotIdx, hot)
+	fmt.Printf("shards:  ops=%d contended=%d (%.3f%%)\n",
+		ls.Ops, ls.Contended, 100*pct(ls.Contended, ls.Ops))
+	fmt.Printf("wal: appended=%d group_commits=%d mean_batch=%.1f max_batch=%d fsyncs=%d\n",
+		ds.WAL.Appended, ds.WAL.GroupCommits, ds.WAL.MeanCommitBatch, ds.WAL.MaxCommitBatch, ds.WAL.Synced)
+	fmt.Printf("checkpoints: %d (last barrier pause %.0fµs)\n", ds.Checkpoints, ds.LastBarrierMicros)
 }
 
 // pickOp maps a uniform draw to an operation kind (the workload mix).

@@ -210,4 +210,12 @@ func TestConcurrentFeedbackPreferencesPlan(t *testing.T) {
 	if ls.Ops == 0 || ls.Shards != DefaultUserShards {
 		t.Fatalf("lock stats = %+v", ls)
 	}
+	// Every durable write path crossed the commit barrier; with no
+	// checkpointer quiescing, the read-side stripes never contend.
+	if ls.Barrier.Stripes != DefaultUserShards || ls.Barrier.Ops == 0 {
+		t.Fatalf("barrier stats = %+v", ls.Barrier)
+	}
+	if ls.Barrier.Quiesces != 0 || ls.Barrier.Contended != 0 {
+		t.Fatalf("uncontended run reported barrier contention: %+v", ls.Barrier)
+	}
 }

@@ -92,9 +92,10 @@ func (s *System) applyDurableEvent(e durable.Event) error {
 		if err := json.Unmarshal(e.Payload, &ce); err != nil {
 			return err
 		}
-		s.durMu.RLock()
+		idx := s.shardIndexFor(ce.User)
+		s.barrier.rlock(idx)
 		_, err := s.compactTracking(ce.User, ce.N)
-		s.durMu.RUnlock()
+		s.barrier.runlock(idx)
 		return err
 	case durable.TypeFeedbackCompact:
 		var fc feedbackCompactEvent
@@ -158,6 +159,12 @@ type Durability struct {
 	checkpoints    atomic.Int64
 	checkpointErrs atomic.Int64
 	lastCheckpoint atomic.Int64 // unix nanos; 0 = never
+	// lastBarrierNs / totalBarrierNs measure the write-path pause each
+	// checkpoint's quiesce imposed (snapshot serialization + WAL
+	// rotation) — the latency cost durability charges the hot path,
+	// reported on /stats.
+	lastBarrierNs  atomic.Int64
+	totalBarrierNs atomic.Int64
 }
 
 // OpenDurability recovers state from o.Dir into sys — which must be
@@ -217,12 +224,18 @@ func OpenDurability(sys *System, o DurabilityOptions) (*Durability, error) {
 		SegmentBytes: o.SegmentBytes,
 		Sync:         o.Sync,
 		SyncEvery:    o.SyncEvery,
+		Stripes:      len(sys.shards),
+		// Replay just totally ordered the retained tail; hand its max
+		// sequence over so the open does not re-read every segment.
+		InitialSeq: st.MaxSeq,
 	})
 	if err != nil {
 		return nil, err
 	}
 	d.wal = wal
-	sys.SetMutationHook(wal.Append)
+	// The System's barrier stripe doubles as the WAL staging stripe, so
+	// writers that share no barrier state share no staging state either.
+	sys.SetMutationHook(wal.AppendTo)
 	return d, nil
 }
 
@@ -254,12 +267,16 @@ func (d *Durability) checkpointLocked() error {
 		seq int64
 		err error
 	)
+	barrierStart := time.Now()
 	d.sys.checkpointBarrier(func() {
 		if err = d.sys.Snapshot(&buf); err != nil {
 			return
 		}
 		seq, err = d.wal.Rotate()
 	})
+	paused := time.Since(barrierStart).Nanoseconds()
+	d.lastBarrierNs.Store(paused)
+	d.totalBarrierNs.Add(paused)
 	if err == nil {
 		err = durable.WriteCheckpoint(d.dir, seq, buf.Bytes())
 	}
@@ -329,17 +346,24 @@ type DurabilityStats struct {
 	// never); LastCheckpointAgeSec is its age now.
 	LastCheckpointUnix   int64   `json:"last_checkpoint_unix"`
 	LastCheckpointAgeSec float64 `json:"last_checkpoint_age_sec"`
+	// LastBarrierMicros / TotalBarrierMicros are the write-path pauses
+	// the checkpoint quiesces imposed (snapshot + WAL rotation inside
+	// the striped commit barrier).
+	LastBarrierMicros  float64 `json:"last_barrier_micros"`
+	TotalBarrierMicros float64 `json:"total_barrier_micros"`
 }
 
 // Stats snapshots the durability counters.
 func (d *Durability) Stats() DurabilityStats {
 	st := DurabilityStats{
-		WAL:              d.wal.Stats(),
-		Replayed:         d.replayed,
-		RecoveredTorn:    d.torn,
-		Checkpoints:      d.checkpoints.Load(),
-		CheckpointErrors: d.checkpointErrs.Load(),
-		EmitErrors:       d.sys.emitErrs.Load(),
+		WAL:                d.wal.Stats(),
+		Replayed:           d.replayed,
+		RecoveredTorn:      d.torn,
+		Checkpoints:        d.checkpoints.Load(),
+		CheckpointErrors:   d.checkpointErrs.Load(),
+		EmitErrors:         d.sys.emitErrs.Load(),
+		LastBarrierMicros:  float64(d.lastBarrierNs.Load()) / 1e3,
+		TotalBarrierMicros: float64(d.totalBarrierNs.Load()) / 1e3,
 	}
 	if ns := d.lastCheckpoint.Load(); ns > 0 {
 		st.LastCheckpointUnix = ns / 1e9

@@ -8,12 +8,19 @@
 //
 // On-disk record framing (little endian):
 //
-//	| length uint32 | crc32c uint32 | type byte | payload ... |
+//	| length uint32 | crc32c uint32 | seq uint64 | type byte | payload ... |
 //
-// length counts the type byte plus the payload; the CRC (Castagnoli)
-// covers the same bytes. A record is valid only if it is complete and
-// its CRC matches, so a crash mid-write leaves a detectable torn tail
-// rather than silently corrupt state.
+// length counts the sequence number, the type byte and the payload; the
+// CRC (Castagnoli) covers the same bytes. A record is valid only if it
+// is complete and its CRC matches, so a crash mid-write leaves a
+// detectable torn tail rather than silently corrupt state.
+//
+// seq is the global append sequence number the WAL stamps into every
+// record. The log is multi-producer (per-stripe staging buffers drained
+// by one background writer), so the physical record order on disk is
+// only approximately the commit order; Replay totally orders by seq,
+// and per-user order is exact because every caller serializes a user's
+// mutations before staging them (see the WAL ordering contract).
 package durable
 
 import (
@@ -73,14 +80,18 @@ func (t Type) String() string {
 	}
 }
 
-// Event is one durable mutation record.
+// Event is one durable mutation record. Seq is assigned by the WAL on
+// append (any caller-set value is overwritten) and populated on replay;
+// it totally orders the log.
 type Event struct {
+	Seq     uint64
 	Type    Type
 	Payload []byte
 }
 
 const (
 	headerSize = 8 // uint32 length + uint32 crc
+	seqSize    = 8 // uint64 sequence number, first body field
 	// maxRecordSize guards decoding against garbage lengths: no single
 	// mutation event comes anywhere near it.
 	maxRecordSize = 64 << 20
@@ -94,12 +105,15 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // mid-append.
 var ErrTorn = errors.New("durable: torn record")
 
-// appendRecord appends the framed encoding of e to dst.
+// appendRecord appends the framed encoding of e (with e.Seq stamped
+// into the header) to dst.
 func appendRecord(dst []byte, e Event) []byte {
-	n := 1 + len(e.Payload)
-	var hdr [headerSize]byte
+	n := seqSize + 1 + len(e.Payload)
+	var hdr [headerSize + seqSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
-	crc := crc32.Update(0, castagnoli, []byte{byte(e.Type)})
+	binary.LittleEndian.PutUint64(hdr[8:16], e.Seq)
+	crc := crc32.Update(0, castagnoli, hdr[8:16])
+	crc = crc32.Update(crc, castagnoli, []byte{byte(e.Type)})
 	crc = crc32.Update(crc, castagnoli, e.Payload)
 	binary.LittleEndian.PutUint32(hdr[4:8], crc)
 	dst = append(dst, hdr[:]...)
@@ -108,7 +122,7 @@ func appendRecord(dst []byte, e Event) []byte {
 }
 
 // recordSize returns the framed size of e.
-func recordSize(e Event) int64 { return int64(headerSize + 1 + len(e.Payload)) }
+func recordSize(e Event) int64 { return int64(headerSize + seqSize + 1 + len(e.Payload)) }
 
 // readRecord decodes the next record from r. It returns io.EOF at a
 // clean segment end, ErrTorn when the stream holds a partial or
@@ -128,7 +142,7 @@ func readRecord(r *bufio.Reader) (Event, error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:4])
 	want := binary.LittleEndian.Uint32(hdr[4:8])
-	if n == 0 || n > maxRecordSize {
+	if n <= seqSize || n > maxRecordSize {
 		return Event{}, ErrTorn
 	}
 	body := make([]byte, n)
@@ -141,5 +155,9 @@ func readRecord(r *bufio.Reader) (Event, error) {
 	if crc32.Checksum(body, castagnoli) != want {
 		return Event{}, ErrTorn
 	}
-	return Event{Type: Type(body[0]), Payload: body[1:]}, nil
+	return Event{
+		Seq:     binary.LittleEndian.Uint64(body[0:seqSize]),
+		Type:    Type(body[seqSize]),
+		Payload: body[seqSize+1:],
+	}, nil
 }

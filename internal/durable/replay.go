@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 )
 
 // ReplayStats reports what a recovery pass read.
@@ -18,14 +19,31 @@ type ReplayStats struct {
 	// Torn reports whether the newest segment ended in a torn record
 	// (the expected signature of a crash mid-append).
 	Torn bool
+	// MaxSeq is the highest record sequence number seen. Callers hand
+	// it to OpenWAL via Options.InitialSeq so the open does not re-read
+	// the segments replay just read.
+	MaxSeq uint64
 }
 
-// Replay streams every WAL record in segments >= fromSeq, in order,
-// through fn. A torn record at the tail of the newest segment is
-// tolerated (replay stops there and Torn is set); a torn or corrupt
-// record anywhere else is real corruption and fails the recovery, as
-// does an error from fn. Missing segments inside the replayed range
-// fail it too — a gap means mutations are unrecoverable.
+// Replay reads every WAL record in segments >= fromSeq, totally orders
+// them by their stamped sequence number, and applies them through fn.
+//
+// The sort is what makes the multi-producer log replayable: the
+// background writer drains per-stripe staging buffers, so the physical
+// record order on disk is only approximately the commit order (a
+// producer preempted between taking its sequence number and staging
+// lands late). Ordering by sequence restores the commit order exactly —
+// per-user order because callers serialize a user's appends, and
+// cross-user causal order because a dependent mutation always takes its
+// sequence number after the mutation it observed completed. The
+// replayed range is bounded by checkpoint truncation, so buffering it
+// is at most one checkpoint interval of traffic.
+//
+// A torn record at the tail of the newest segment is tolerated (replay
+// drops it and Torn is set); a torn or corrupt record anywhere else is
+// real corruption and fails the recovery, as does an error from fn.
+// Missing segments inside the replayed range fail it too — a gap means
+// mutations are unrecoverable.
 func Replay(dir string, fromSeq int64, fn func(Event) error) (ReplayStats, error) {
 	var st ReplayStats
 	segs, err := listSegments(dir)
@@ -35,10 +53,19 @@ func Replay(dir string, fromSeq int64, fn func(Event) error) (ReplayStats, error
 		}
 		return st, fmt.Errorf("durable: listing segments: %w", err)
 	}
+	if len(segs) > 0 {
+		// Refuse to parse segments written by a pre-seq-format release:
+		// their records CRC-validate under this reader but decode to
+		// garbage sequence numbers and types.
+		if err := ensureFormat(dir, true); err != nil {
+			return st, err
+		}
+	}
 	// Seeding prev at fromSeq-1 makes the gap check cover the range
 	// start too: if the segment the checkpoint hands off to is missing,
 	// recovery must fail, not silently resume at a later one.
 	prev := fromSeq - 1
+	var events []Event
 	for _, seg := range segs {
 		if seg.seq < fromSeq {
 			continue
@@ -49,8 +76,7 @@ func Replay(dir string, fromSeq int64, fn func(Event) error) (ReplayStats, error
 		prev = seg.seq
 		st.Segments++
 		last := seg.seq == segs[len(segs)-1].seq
-		torn, validOff, n, err := replaySegment(seg.path, fn)
-		st.Events += n
+		torn, validOff, err := readSegment(seg.path, &events)
 		if err != nil {
 			return st, err
 		}
@@ -73,34 +99,41 @@ func Replay(dir string, fromSeq int64, fn func(Event) error) (ReplayStats, error
 			st.Torn = true
 		}
 	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	if len(events) > 0 {
+		st.MaxSeq = events[len(events)-1].Seq
+	}
+	for _, e := range events {
+		if err := fn(e); err != nil {
+			return st, fmt.Errorf("durable: applying %s record: %w", e.Type, err)
+		}
+		st.Events++
+	}
 	return st, nil
 }
 
-// replaySegment reads one segment, applying each valid record. validOff
+// readSegment reads one segment's valid records into *events. validOff
 // is the byte length of the valid prefix (where a tear, if any, starts).
-func replaySegment(path string, fn func(Event) error) (torn bool, validOff int64, n int, err error) {
+func readSegment(path string, events *[]Event) (torn bool, validOff int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return false, 0, 0, err
+		return false, 0, err
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<16)
 	for {
 		e, err := readRecord(r)
 		if err == io.EOF {
-			return false, validOff, n, nil
+			return false, validOff, nil
 		}
 		if err == ErrTorn {
-			return true, validOff, n, nil // stop at the valid prefix
+			return true, validOff, nil // stop at the valid prefix
 		}
 		if err != nil {
-			return false, validOff, n, err // real I/O failure
-		}
-		if err := fn(e); err != nil {
-			return false, validOff, n, fmt.Errorf("durable: applying %s record: %w", e.Type, err)
+			return false, validOff, err // real I/O failure
 		}
 		validOff += recordSize(e)
-		n++
+		*events = append(*events, e)
 	}
 }
 
@@ -124,7 +157,7 @@ func validFrameAfter(path string, from int64) (bool, error) {
 	}
 	for i := 1; i+headerSize < len(rem); i++ {
 		n := binary.LittleEndian.Uint32(rem[i : i+4])
-		if n == 0 || n > maxRecordSize || i+headerSize+int(n) > len(rem) {
+		if n <= seqSize || n > maxRecordSize || i+headerSize+int(n) > len(rem) {
 			continue
 		}
 		want := binary.LittleEndian.Uint32(rem[i+4 : i+8])

@@ -18,10 +18,12 @@ import (
 // SyncPolicy selects when the WAL calls fsync.
 type SyncPolicy int
 
-// Sync policies, in decreasing durability order. SyncAlways fsyncs every
-// append (no completed mutation is ever lost); SyncInterval flushes and
-// fsyncs on a background tick, bounding loss to one interval; SyncNone
-// leaves flushing to the OS (and to Close/Rotate).
+// Sync policies, in decreasing durability order. SyncAlways makes every
+// Append durable before it returns — appenders park on a commit notify
+// and one group-commit fsync retires every record staged while the
+// previous fsync was in flight. SyncInterval flushes and fsyncs on a
+// background tick, bounding loss to one interval; SyncNone leaves
+// flushing to the OS (and to Rotate/Close).
 const (
 	SyncAlways SyncPolicy = iota
 	SyncInterval
@@ -57,11 +59,14 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 }
 
 // ErrDeferredSync reports that an *earlier* background fsync failed.
-// The record whose Append returned it WAS written to the log (and the
+// The record whose Append returned it WAS staged for the log (and the
 // unsynced data is retried on the next tick) — callers that sequence
 // work after the append (the emit-then-apply ingest path) must treat
 // the record as logged and proceed, or log and state diverge.
 var ErrDeferredSync = errors.New("durable: deferred background fsync failed")
+
+// ErrClosed is returned by Append on a closed (or abandoned) WAL.
+var ErrClosed = errors.New("durable: append on closed WAL")
 
 // Options parameterizes a WAL.
 type Options struct {
@@ -71,6 +76,18 @@ type Options struct {
 	Sync SyncPolicy
 	// SyncEvery is the SyncInterval tick. Default 50ms.
 	SyncEvery time.Duration
+	// Stripes is the number of staging stripes (rounded up to a power of
+	// two). Callers spread appends across stripes with AppendTo so
+	// concurrent producers contend only per stripe. Default 32 — the
+	// same count as the System's user shards, so the shard index maps
+	// 1:1 onto a staging stripe.
+	Stripes int
+	// InitialSeq, when nonzero, is the highest record sequence the
+	// caller knows is on disk (a recovery that just ran Replay has it
+	// in ReplayStats.MaxSeq). It spares OpenWAL re-reading every
+	// retained segment; the final segment is still scanned for
+	// torn-tail truncation and its maximum still wins if larger.
+	InitialSeq uint64
 }
 
 func (o *Options) defaults() {
@@ -80,12 +97,55 @@ func (o *Options) defaults() {
 	if o.SyncEvery <= 0 {
 		o.SyncEvery = 50 * time.Millisecond
 	}
+	if o.Stripes <= 0 {
+		o.Stripes = 32
+	}
+	n := 1
+	for n < o.Stripes {
+		n <<= 1
+	}
+	o.Stripes = n
 }
 
 const (
 	segmentPrefix = "wal-"
 	segmentSuffix = ".log"
+
+	// formatFile marks the record framing version of a WAL directory.
+	// Version 2 added the seq field to the record body. The marker is
+	// what makes an old-format directory fail loudly: a v1 record's CRC
+	// covers its whole body, so it still validates under the v2 reader —
+	// which would then silently read payload bytes as a sequence number.
+	formatFile    = "wal-format"
+	formatVersion = "2"
 )
+
+// ensureFormat validates the directory's WAL format marker, creating it
+// for a directory that has no segments yet. A directory with segments
+// but no marker was written by a pre-v2 release and must not be parsed.
+func ensureFormat(dir string, haveSegments bool) error {
+	path := filepath.Join(dir, formatFile)
+	b, err := os.ReadFile(path)
+	if err == nil {
+		if got := strings.TrimSpace(string(b)); got != formatVersion {
+			return fmt.Errorf("durable: unsupported WAL format %q in %s (this release reads format %s)", got, dir, formatVersion)
+		}
+		return nil
+	}
+	if !os.IsNotExist(err) {
+		return err
+	}
+	if haveSegments {
+		return fmt.Errorf("durable: %s holds WAL segments without a format marker — written by a pre-sequence-format release; recover with that release or start from a fresh directory", dir)
+	}
+	// The marker must be at least as durable as the first fsynced
+	// record, or a crash could persist the segments while losing the
+	// marker — and recovery would then refuse a perfectly valid log.
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, formatVersion+"\n")
+		return err
+	})
+}
 
 // segmentName renders the file name of segment seq.
 func segmentName(seq int64) string {
@@ -136,36 +196,40 @@ func listSegments(dir string) ([]segmentInfo, error) {
 }
 
 // validPrefixLen scans a segment and returns the byte length of its
-// valid record prefix — everything after it is a torn tail. Real I/O
-// failures propagate; they must not be mistaken for a tear and
-// truncated away.
-func validPrefixLen(path string) (int64, error) {
+// valid record prefix and the highest record sequence number it holds —
+// everything after the prefix is a torn tail. Real I/O failures
+// propagate; they must not be mistaken for a tear and truncated away.
+func validPrefixLen(path string) (int64, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer f.Close()
 	r := bufio.NewReader(f)
 	var off int64
+	var maxSeq uint64
 	for {
 		e, err := readRecord(r)
 		if err == io.EOF || err == ErrTorn {
-			return off, nil // valid prefix ends here
+			return off, maxSeq, nil // valid prefix ends here
 		}
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		off += recordSize(e)
+		if e.Seq > maxSeq {
+			maxSeq = e.Seq
+		}
 	}
 }
 
 // WALStats are the log's counters, reported on /stats.
 type WALStats struct {
-	// Appended counts records written since open.
+	// Appended counts records staged since open.
 	Appended int64 `json:"appended"`
 	// Synced counts fsync calls since open.
 	Synced int64 `json:"synced"`
-	// Bytes counts record bytes written since open.
+	// Bytes counts record bytes staged since open.
 	Bytes int64 `json:"bytes"`
 	// Segments is the number of live segment files.
 	Segments int64 `json:"segments"`
@@ -173,39 +237,134 @@ type WALStats struct {
 	SegmentSeq int64 `json:"segment_seq"`
 	// Policy is the fsync policy name.
 	Policy string `json:"policy"`
+	// GroupCommits counts drain cycles that retired at least one staged
+	// record; GroupCommitRecords is the total they retired. Their ratio
+	// (MeanCommitBatch) is the group-commit amortization: how many
+	// appends one pass of the background writer — and, under SyncAlways,
+	// one fsync — retires.
+	GroupCommits       int64   `json:"group_commits"`
+	GroupCommitRecords int64   `json:"group_commit_records"`
+	MeanCommitBatch    float64 `json:"mean_commit_batch"`
+	// MaxCommitBatch is the largest single drain.
+	MaxCommitBatch int64 `json:"max_commit_batch"`
+	// Staged is the number of records currently staged and not yet
+	// handed to the segment writer.
+	Staged int64 `json:"staged"`
+	// Stripes is the staging-stripe count.
+	Stripes int `json:"stripes"`
 }
 
-// WAL is the append-only, segment-rotated write-ahead log. It is safe
-// for concurrent use.
+// stagedRec is one encoded record parked in a stripe's staging buffer,
+// awaiting the background writer.
+type stagedRec struct {
+	seq    uint64
+	ticket uint64
+	data   []byte // pooled framed bytes, owned by the writer after drain
+}
+
+// walStripe is one staging stripe. Producers append encoded records
+// under the stripe mutex only — never under the segment writer's lock —
+// so concurrent appends for different stripes share no mutable state.
+// The struct is padded to a cache line so stripe mutexes never false-
+// share.
+type walStripe struct {
+	mu     sync.Mutex
+	recs   []stagedRec
+	ticket uint64 // tickets handed out, one per staged record (FIFO)
+	closed bool
+	// durableTicket is the highest ticket known fsynced; SyncAlways
+	// waiters park until it covers their record.
+	durableTicket atomic.Uint64
+	// Pad to a full cache line: mu(8) + recs header(24) + ticket(8) +
+	// closed(1+7) + durableTicket(8) = 56, +8 = 64.
+	_ [8]byte
+}
+
+// WAL is the append-only, segment-rotated, multi-producer write-ahead
+// log. Producers encode records outside any lock, stamp a global atomic
+// sequence number, and stage them into per-stripe buffers; one
+// background writer drains every stripe, writes the batch in sequence
+// order and — under SyncAlways — retires all of it with a single
+// group-commit fsync. It is safe for concurrent use.
+//
+// Ordering contract: the on-disk record order is only approximately the
+// sequence order (a producer may be preempted between taking its
+// sequence number and staging), so Replay totally orders records by
+// sequence number before applying them. Per-key FIFO is the caller's
+// half of the contract: callers that require replay order to equal
+// apply order for a key (the System's per-user mutations) must
+// serialize that key's Append calls, which the System's shard locks do.
 type WAL struct {
 	dir  string
 	opts Options
 
-	mu       sync.Mutex
+	seqCtr  atomic.Uint64 // global record sequence, 1-based
+	stripes []walStripe
+	mask    uint32
+
+	// ioMu is the segment writer's domain: the active file, its bufio
+	// writer and the drain machinery. Producers never take it.
+	ioMu     sync.Mutex
 	f        *os.File
 	bw       *bufio.Writer
-	seq      int64 // active segment
-	firstSeq int64 // oldest retained segment
-	size     int64 // bytes in the active segment
-	scratch  []byte
-	dirty    bool  // bytes written since last fsync
-	err      error // sticky async-fsync failure, surfaced by the next Append
-	closed   bool
+	seg      atomic.Int64 // active segment (atomic: Stats reads it without ioMu)
+	firstSeg atomic.Int64 // oldest retained segment
+	size     int64        // bytes in the active segment
+	dirty    bool         // bytes written since last fsync
+	ioClosed bool
+	// pending carries drained-but-unwritten records across cycles: a
+	// write error must not drop a record whose Append already returned
+	// nil while later records land (that would punch a mid-stream hole
+	// in the sequence).
+	pending    []stagedRec
+	drainHi    []uint64 // per-stripe highest ticket collected, pending fsync
+	deferred   error    // sticky async-fsync failure, surfaced by a later Append
+	deferredMu sync.Mutex
+	// wedged marks a segment-write failure under interval/none: the
+	// bufio writer's error is sticky and no later write can land, so
+	// appends fail fast with wedgeErr instead of silently staging into
+	// an unbounded backlog. (The previous single-mutex WAL had the same
+	// terminal state — every Append returned the sticky error — this
+	// preserves that contract for the staged path.)
+	wedged   atomic.Bool
+	wedgeErr error // under deferredMu
 
-	appended int64
-	bytes    int64
-	synced   atomic.Int64 // fsyncs may complete outside mu
+	// commitMu/commitCond wake SyncAlways waiters after each group
+	// commit. A failed cycle under SyncAlways is terminal: `terminal`
+	// flips (with lastErr holding the failure), every parked producer is
+	// woken with the error, and no later cycle runs — so a ticket
+	// covered by durableTicket always means "written and fsynced", never
+	// "dropped by a failure but acked by a later success".
+	commitMu     sync.Mutex
+	commitCond   *sync.Cond
+	terminal     bool // under commitMu
+	terminalFlag atomic.Bool
+	lastErr      error
 
+	closed   atomic.Bool
+	stopOnce sync.Once
+
+	appended      atomic.Int64
+	bytes         atomic.Int64
+	synced        atomic.Int64
+	groupCommits  atomic.Int64
+	commitRecords atomic.Int64
+	maxBatch      atomic.Int64
+
+	scratch sync.Pool // *[]byte record-encoding buffers
+
+	wake chan struct{}
 	stop chan struct{}
 	done chan struct{}
 }
 
 // OpenWAL opens (or creates) the log in dir, truncating any torn tail
-// left in the newest segment by a crash, and continues appending to it.
-// Callers that need the torn records replayed must run Replay before
-// OpenWAL truncates them away — Open is destructive to the torn tail by
-// design (an append after a torn record would otherwise be unreachable
-// to every future replay, which stops at the tear).
+// left in the newest segment by a crash, and continues appending to it
+// (the record sequence resumes past the highest on disk). Callers that
+// need the torn records replayed must run Replay before OpenWAL
+// truncates them away — Open is destructive to the torn tail by design
+// (an append after a torn record would otherwise be unreachable to
+// every future replay, which stops at the tear).
 func OpenWAL(dir string, opts Options) (*WAL, error) {
 	opts.defaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -215,16 +374,54 @@ func OpenWAL(dir string, opts Options) (*WAL, error) {
 	if err != nil {
 		return nil, fmt.Errorf("durable: listing segments: %w", err)
 	}
-	w := &WAL{dir: dir, opts: opts, seq: 1, firstSeq: 1}
+	if err := ensureFormat(dir, len(segs) > 0); err != nil {
+		return nil, err
+	}
+	w := &WAL{
+		dir:     dir,
+		opts:    opts,
+		stripes: make([]walStripe, opts.Stripes),
+		mask:    uint32(opts.Stripes - 1),
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	w.seg.Store(1)
+	w.firstSeg.Store(1)
+	w.commitCond = sync.NewCond(&w.commitMu)
+	w.drainHi = make([]uint64, opts.Stripes)
 	if len(segs) == 0 {
 		if err := w.createSegment(1); err != nil {
 			return nil, err
 		}
 	} else {
+		// The record sequence must resume past everything on disk, or
+		// replay's total order would sort fresh records before recovered
+		// ones. The maximum can live in any retained segment (the last
+		// drain before a crash may have landed out of order across a
+		// rotation). Callers that just replayed the log pass the maximum
+		// they saw via Options.InitialSeq so only the final segment is
+		// re-read (for torn-tail truncation); a standalone open scans
+		// every segment.
+		maxSeq := opts.InitialSeq
+		if maxSeq == 0 {
+			for _, seg := range segs[:len(segs)-1] {
+				_, m, err := validPrefixLen(seg.path)
+				if err != nil {
+					return nil, fmt.Errorf("durable: scanning %s: %w", seg.path, err)
+				}
+				if m > maxSeq {
+					maxSeq = m
+				}
+			}
+		}
 		last := segs[len(segs)-1]
-		valid, err := validPrefixLen(last.path)
+		valid, m, err := validPrefixLen(last.path)
 		if err != nil {
 			return nil, fmt.Errorf("durable: scanning %s: %w", last.path, err)
+		}
+		if m > maxSeq {
+			maxSeq = m
 		}
 		f, err := os.OpenFile(last.path, os.O_WRONLY, 0)
 		if err != nil {
@@ -242,15 +439,16 @@ func OpenWAL(dir string, opts Options) (*WAL, error) {
 		}
 		w.f = f
 		w.bw = bufio.NewWriterSize(f, 1<<16)
-		w.seq = last.seq
-		w.firstSeq = segs[0].seq
+		w.seg.Store(last.seq)
+		w.firstSeg.Store(segs[0].seq)
 		w.size = valid
+		w.seqCtr.Store(maxSeq)
 	}
+	var tick *time.Ticker
 	if opts.Sync == SyncInterval {
-		w.stop = make(chan struct{})
-		w.done = make(chan struct{})
-		go w.syncLoop(w.stop, w.done)
+		tick = time.NewTicker(opts.SyncEvery)
 	}
+	go w.writerLoop(tick)
 	return w, nil
 }
 
@@ -261,77 +459,328 @@ func (w *WAL) createSegment(seq int64) error {
 	}
 	w.f = f
 	w.bw = bufio.NewWriterSize(f, 1<<16)
-	w.seq = seq
+	w.seg.Store(seq)
 	w.size = 0
 	return nil
 }
 
-// syncLoop receives its channels as arguments (not via the struct
-// fields) because stopSyncLoop nils the fields under the mutex while
-// this goroutine selects without it.
-func (w *WAL) syncLoop(stop, done chan struct{}) {
-	defer close(done)
-	t := time.NewTicker(w.opts.SyncEvery)
-	defer t.Stop()
+// writerLoop is the single consumer of every staging stripe: it drains
+// on producer wakeups (and, under SyncInterval, flushes on the tick).
+// Under SyncAlways each pass ends in one fsync that retires every
+// record staged since the previous pass — producers that stacked up
+// while the disk was busy are all released by the same write barrier,
+// which is what makes the log multi-producer without making it
+// multi-fsync.
+func (w *WAL) writerLoop(tick *time.Ticker) {
+	defer close(w.done)
+	var tickC <-chan time.Time
+	if tick != nil {
+		tickC = tick.C
+		defer tick.Stop()
+	}
 	for {
 		select {
-		case <-stop:
+		case <-w.stop:
 			return
-		case <-t.C:
+		case <-w.wake:
+			w.commitCycle()
+		case <-tickC:
 			w.Sync()
 		}
 	}
 }
 
-// Append writes one record. Under SyncAlways it is durable on return;
-// under SyncInterval/SyncNone it is buffered and a crash may lose it.
-func (w *WAL) Append(e Event) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
-		return fmt.Errorf("durable: append on closed WAL")
+// wakeWriter nudges the writer goroutine; the buffered channel
+// coalesces bursts into one drain.
+func (w *WAL) wakeWriter() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
 	}
-	// A sticky async-fsync failure is surfaced on the next append — but
-	// the current record is still written first: its mutation is already
-	// applied in memory, so dropping it would punch a hole in the log
-	// that replay cannot see.
-	sticky := w.err
-	w.err = nil
-	w.scratch = appendRecord(w.scratch[:0], e)
-	if _, err := w.bw.Write(w.scratch); err != nil {
-		return fmt.Errorf("durable: appending record: %w", err)
-	}
-	n := int64(len(w.scratch))
-	w.size += n
-	w.bytes += n
-	w.appended++
-	w.dirty = true
-	if w.opts.Sync == SyncAlways {
-		if err := w.syncLocked(); err != nil {
-			return err
-		}
-	}
-	if w.size >= w.opts.SegmentBytes {
-		// Size-triggered rotation retires the old segment with an
-		// asynchronous fsync under the interval/none policies: their
-		// durability promise is already tick-bounded, so the write path
-		// must not stall for a multi-megabyte writeback. The explicit
-		// Rotate() used by checkpoints stays fully synchronous.
-		if _, err := w.rotateLocked(w.opts.Sync == SyncAlways); err != nil {
-			return err
-		}
-	}
-	if sticky != nil {
-		return fmt.Errorf("%w: %v", ErrDeferredSync, sticky)
-	}
-	return nil
 }
 
-// syncLocked flushes and fsyncs unconditionally — not gated on dirty.
-// The out-of-lock Sync clears dirty before its fsync lands, so a
-// concurrent Rotate/Close that trusted the flag could close the file
-// with that fsync still pending; paying an occasional no-op fsync here
-// is what makes "retired segments are durable before close" true.
+// Append writes one record through staging stripe 0. Single-producer
+// callers and tests use it; the System's hook uses AppendTo with the
+// user-shard index.
+func (w *WAL) Append(e Event) error { return w.AppendTo(0, e) }
+
+// AppendTo stages one record on the given stripe. Under SyncAlways it
+// is durable on return (the caller parked on the group-commit notify);
+// under SyncInterval/SyncNone it is staged for the background writer
+// and a crash may lose it. The record is encoded into a pooled scratch
+// buffer entirely outside the stripe lock; the critical section is one
+// slice append.
+func (w *WAL) AppendTo(stripe uint32, e Event) error {
+	if w.closed.Load() {
+		return ErrClosed
+	}
+	if w.wedged.Load() && w.opts.Sync != SyncAlways {
+		// A segment-write failure is terminal for the staged path (the
+		// bufio writer's error is sticky): fail fast instead of staging
+		// into a backlog that can never drain.
+		w.deferredMu.Lock()
+		err := w.wedgeErr
+		w.deferredMu.Unlock()
+		return fmt.Errorf("durable: wal write failed, log wedged: %w", err)
+	}
+	if w.terminalFlag.Load() && w.opts.Sync == SyncAlways {
+		// A failed commit cycle killed the log; nothing appended after
+		// it can ever become durable, so fail before staging.
+		w.commitMu.Lock()
+		err := w.lastErr
+		w.commitMu.Unlock()
+		return fmt.Errorf("durable: wal commit failed, log terminal: %w", err)
+	}
+	// Sequence first, then encode: the CRC covers the stamped sequence
+	// number, and a gap left by a crash between here and staging is a
+	// tail gap replay already tolerates (the record's mutation never
+	// reported success to anyone).
+	e.Seq = w.seqCtr.Add(1)
+	bp, _ := w.scratch.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
+	}
+	buf := appendRecord((*bp)[:0], e)
+	*bp = buf
+
+	st := &w.stripes[stripe&w.mask]
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		w.scratch.Put(bp)
+		return ErrClosed
+	}
+	if w.opts.Sync != SyncAlways && w.wedged.Load() {
+		// Re-check under the stripe lock: a drain failure between the
+		// fast-path check and here must not let this record stage with a
+		// nil return — it could never be written.
+		st.mu.Unlock()
+		w.scratch.Put(bp)
+		w.deferredMu.Lock()
+		err := w.wedgeErr
+		w.deferredMu.Unlock()
+		return fmt.Errorf("durable: wal write failed, log wedged: %w", err)
+	}
+	st.ticket++
+	ticket := st.ticket
+	st.recs = append(st.recs, stagedRec{seq: e.Seq, ticket: ticket, data: buf})
+	st.mu.Unlock()
+
+	w.appended.Add(1)
+	w.bytes.Add(int64(len(buf)))
+	w.wakeWriter()
+
+	if w.opts.Sync != SyncAlways {
+		// Surface a sticky background-fsync failure on this (unrelated)
+		// append — the record itself is staged and will be retried.
+		w.deferredMu.Lock()
+		sticky := w.deferred
+		w.deferred = nil
+		w.deferredMu.Unlock()
+		if sticky != nil {
+			return fmt.Errorf("%w: %v", ErrDeferredSync, sticky)
+		}
+		return nil
+	}
+
+	// Group commit: park until the writer's fsync watermark covers this
+	// stripe ticket, or the log goes terminal. Tickets are issued under
+	// the stripe lock at staging, and drains swap every stripe's buffer
+	// inside one locked pass, so durableTicket covering the ticket means
+	// this record was collected, written and fsynced — a failure can
+	// never be followed by a successful cycle that would falsely ack a
+	// dropped record (failure is terminal).
+	w.commitMu.Lock()
+	for st.durableTicket.Load() < ticket && !w.terminal {
+		w.commitCond.Wait()
+	}
+	var err error
+	if st.durableTicket.Load() < ticket {
+		err = w.lastErr
+		if err == nil {
+			err = fmt.Errorf("durable: commit aborted")
+		}
+	}
+	w.commitMu.Unlock()
+	return err
+}
+
+// commitCycle is one pass of the background writer: drain every stripe,
+// write the batch in sequence order, and (under SyncAlways) fsync and
+// release the parked producers.
+func (w *WAL) commitCycle() {
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
+	if w.ioClosed || w.terminalFlag.Load() {
+		return
+	}
+	if _, err := w.drainLocked(); err != nil {
+		w.publishErrorLocked(err)
+		return
+	}
+	if w.opts.Sync == SyncAlways && w.dirty {
+		if err := w.syncLocked(); err != nil {
+			w.publishErrorLocked(err)
+			return
+		}
+		w.publishDurableLocked()
+	}
+}
+
+// drainLocked swaps out every stripe's staging buffer, writes the
+// collected records to the active segment in sequence order, and
+// returns the scratch buffers to the pool. Writing sorted by sequence
+// inside one drain matters for crash safety: a lost write suffix then
+// can never keep a record while losing one it causally depends on
+// (dependencies always carry a smaller sequence number and land in the
+// same or an earlier drain). Callers hold ioMu.
+func (w *WAL) drainLocked() (int, error) {
+	// The swap holds every stripe lock at once so it is one atomic cut
+	// across the whole staging set. A stripe-at-a-time sweep would
+	// break causal ordering: a dependency could stage on an
+	// already-visited stripe while its dependent stages on a
+	// not-yet-visited one, putting the dependent's bytes a full drain
+	// ahead of the dependency's — and a crash between flushes would
+	// persist the inject without its ingest. With one cut, a record
+	// staged before the cut is collected now and anything staged after
+	// it (including everything causally downstream) waits for the next
+	// cut. The held window is just len(stripes) slice swaps.
+	batch := w.pending
+	for i := range w.stripes {
+		w.stripes[i].mu.Lock()
+	}
+	for i := range w.stripes {
+		st := &w.stripes[i]
+		if len(st.recs) > 0 {
+			batch = append(batch, st.recs...)
+			st.recs = st.recs[:0]
+		}
+		w.drainHi[i] = st.ticket
+	}
+	for i := len(w.stripes) - 1; i >= 0; i-- {
+		w.stripes[i].mu.Unlock()
+	}
+	if len(batch) == 0 {
+		w.pending = batch
+		return 0, nil
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
+	for i := range batch {
+		if w.size >= w.opts.SegmentBytes {
+			// Rotate mid-batch so one large drain cannot blow past the
+			// segment bound. The old segment's retirement fsync does NOT
+			// publish durable tickets — drainHi covers records later in
+			// this batch that are not written yet; publication waits for
+			// the cycle's final fsync.
+			if _, err := w.rotateLocked(w.opts.Sync == SyncAlways); err != nil {
+				return i, w.dropOrCarryLocked(batch, i, err)
+			}
+		}
+		if _, err := w.bw.Write(batch[i].data); err != nil {
+			return i, w.dropOrCarryLocked(batch, i, fmt.Errorf("durable: appending record: %w", err))
+		}
+		w.size += int64(len(batch[i].data))
+		d := batch[i].data
+		batch[i].data = nil
+		w.scratch.Put(&d)
+	}
+	w.pending = batch[:0]
+	w.dirty = true
+	n := len(batch)
+	w.groupCommits.Add(1)
+	w.commitRecords.Add(int64(n))
+	for {
+		cur := w.maxBatch.Load()
+		if int64(n) <= cur || w.maxBatch.CompareAndSwap(cur, int64(n)) {
+			break
+		}
+	}
+	return n, nil
+}
+
+// dropOrCarryLocked resolves a drain failure at batch index i according
+// to the policy's promise. Under SyncAlways every record in the batch
+// has a parked producer about to receive this error; retrying the
+// unwritten suffix later would durably commit records whose Append
+// reported failure — the emit-then-apply ingest path would then replay
+// an item the live system never served — so the suffix is dropped and
+// "error ⇒ not in the log" holds for everything not yet handed to the
+// writer (the already-written prefix is the unavoidable commit-unknown
+// window every WAL has). Under interval/none the producers were already
+// told "staged" (nil), so their records must eventually land: the
+// unwritten suffix is carried to the next cycle. Callers hold ioMu.
+func (w *WAL) dropOrCarryLocked(batch []stagedRec, i int, err error) error {
+	if w.opts.Sync == SyncAlways {
+		for j := i; j < len(batch); j++ {
+			d := batch[j].data
+			batch[j].data = nil
+			w.scratch.Put(&d)
+		}
+		w.pending = batch[:0]
+		return err
+	}
+	w.pending = batch[i:]
+	// The bufio writer's error is sticky, so no later drain can land
+	// either: wedge the log so interval/none appends fail fast instead
+	// of growing the carried backlog without bound. The flag is set
+	// while holding every stripe lock, so any producer whose staging
+	// section starts after this point observes it (appends that staged
+	// before the wedge are the in-flight window the interval contract
+	// already bounds).
+	w.deferredMu.Lock()
+	if w.wedgeErr == nil {
+		w.wedgeErr = err
+	}
+	w.deferredMu.Unlock()
+	for i := range w.stripes {
+		w.stripes[i].mu.Lock()
+	}
+	w.wedged.Store(true)
+	for i := len(w.stripes) - 1; i >= 0; i-- {
+		w.stripes[i].mu.Unlock()
+	}
+	return err
+}
+
+// publishDurableLocked advances every stripe's durable-ticket watermark
+// to the last drain and wakes parked producers. Callers hold ioMu and
+// have fsynced everything drained so far.
+func (w *WAL) publishDurableLocked() {
+	w.commitMu.Lock()
+	for i := range w.stripes {
+		w.stripes[i].durableTicket.Store(w.drainHi[i])
+	}
+	w.commitCond.Broadcast()
+	w.commitMu.Unlock()
+}
+
+// publishErrorLocked records a commit failure. Under SyncAlways the
+// failure is terminal: every parked waiter is woken with the error,
+// later appends fail fast, and no further cycle runs — the price of
+// keeping "durableTicket covers it ⇒ it is durable" exact (a retry
+// that succeeded would otherwise falsely ack records the failing cycle
+// dropped). The other policies surface it as a sticky ErrDeferredSync
+// on a later append. Callers hold ioMu.
+func (w *WAL) publishErrorLocked(err error) {
+	if w.opts.Sync == SyncAlways {
+		w.commitMu.Lock()
+		if w.lastErr == nil {
+			w.lastErr = err
+		}
+		w.terminal = true
+		w.terminalFlag.Store(true)
+		w.commitCond.Broadcast()
+		w.commitMu.Unlock()
+		return
+	}
+	w.deferredMu.Lock()
+	if w.deferred == nil {
+		w.deferred = err
+	}
+	w.deferredMu.Unlock()
+}
+
+// syncLocked flushes and fsyncs the active segment. Callers hold ioMu.
 func (w *WAL) syncLocked() error {
 	if err := w.bw.Flush(); err != nil {
 		return fmt.Errorf("durable: flushing: %w", err)
@@ -344,58 +793,66 @@ func (w *WAL) syncLocked() error {
 	return nil
 }
 
-// Sync flushes buffered records and fsyncs the active segment. The
-// fsync happens outside the append lock (group-commit style): writers
-// keep appending into the buffer while the disk persists what was
-// flushed, so the background sync tick never stalls the write paths
-// for the duration of a writeback.
+// Sync drains the staging stripes, flushes buffered records and fsyncs
+// the active segment — the background tick under SyncInterval, and the
+// explicit barrier tests and tools use to observe a settled log.
 func (w *WAL) Sync() error {
-	w.mu.Lock()
-	if w.closed || !w.dirty {
-		w.mu.Unlock()
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
+	if w.ioClosed {
 		return nil
 	}
-	if err := w.bw.Flush(); err != nil {
-		w.mu.Unlock()
-		return fmt.Errorf("durable: flushing: %w", err)
+	if w.terminalFlag.Load() {
+		// Draining a terminal log would write records whose producers
+		// were already told their commit failed.
+		w.commitMu.Lock()
+		defer w.commitMu.Unlock()
+		return w.lastErr
 	}
-	w.dirty = false
-	f := w.f
-	w.mu.Unlock()
-	if err := f.Sync(); err != nil {
-		if errors.Is(err, os.ErrClosed) {
-			// A concurrent synchronous rotation retired this segment;
-			// syncLocked fsyncs unconditionally before the close, so the
-			// flushed data is durable without this (uncounted) fsync.
-			return nil
-		}
-		// Any other failure (ENOSPC, EIO) must not vanish into the sync
-		// loop: re-mark the segment dirty so the next tick retries, and
-		// leave a sticky error for the next Append to surface.
-		err = fmt.Errorf("durable: fsync: %w", err)
-		w.mu.Lock()
-		w.dirty = true
-		if w.err == nil {
-			w.err = err
-		}
-		w.mu.Unlock()
+	if _, err := w.drainLocked(); err != nil {
+		w.publishErrorLocked(err)
 		return err
 	}
-	w.synced.Add(1)
+	if !w.dirty {
+		return nil
+	}
+	if err := w.syncLocked(); err != nil {
+		w.publishErrorLocked(err)
+		return err
+	}
+	w.publishDurableLocked()
 	return nil
 }
 
-// Rotate closes the active segment (flushed and fsynced) and starts a
-// new one, returning the new segment's sequence number. The checkpointer
-// calls it inside the mutation barrier so the new segment is the exact
+// Rotate drains the staging stripes, closes the active segment (flushed
+// and fsynced) and starts a new one, returning the new segment's
+// sequence number. The checkpointer calls it inside the mutation
+// barrier — every producer quiesced — so the new segment is the exact
 // WAL position its snapshot covers up to.
 func (w *WAL) Rotate() (int64, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
+	if w.ioClosed {
 		return 0, fmt.Errorf("durable: rotate on closed WAL")
 	}
-	return w.rotateLocked(true)
+	if w.terminalFlag.Load() {
+		w.commitMu.Lock()
+		err := w.lastErr
+		w.commitMu.Unlock()
+		return 0, fmt.Errorf("durable: rotate on terminal WAL: %w", err)
+	}
+	if _, err := w.drainLocked(); err != nil {
+		w.publishErrorLocked(err)
+		return 0, err
+	}
+	seq, err := w.rotateLocked(true)
+	if err != nil {
+		w.publishErrorLocked(err)
+		return 0, err
+	}
+	// Everything drained was fsynced before the old segment closed.
+	w.publishDurableLocked()
+	return seq, nil
 }
 
 func (w *WAL) rotateLocked(syncOld bool) (int64, error) {
@@ -407,6 +864,10 @@ func (w *WAL) rotateLocked(syncOld bool) (int64, error) {
 			return 0, err
 		}
 	} else {
+		// Size-triggered rotation retires the old segment with an
+		// asynchronous fsync under the interval/none policies: their
+		// durability promise is already tick-bounded, so the writer pass
+		// must not stall for a multi-megabyte writeback.
 		if err := w.bw.Flush(); err != nil {
 			return 0, fmt.Errorf("durable: flushing: %w", err)
 		}
@@ -417,30 +878,28 @@ func (w *WAL) rotateLocked(syncOld bool) (int64, error) {
 				err = cerr
 			}
 			if err != nil {
-				w.mu.Lock()
-				if w.err == nil {
-					w.err = fmt.Errorf("durable: retiring segment: %w", err)
+				w.deferredMu.Lock()
+				if w.deferred == nil {
+					w.deferred = fmt.Errorf("durable: retiring segment: %w", err)
 				}
-				w.mu.Unlock()
+				w.deferredMu.Unlock()
 				return
 			}
 			w.synced.Add(1)
 		}(w.f)
 	}
-	if err := w.createSegment(w.seq + 1); err != nil {
+	if err := w.createSegment(w.seg.Load() + 1); err != nil {
 		return 0, err
 	}
-	return w.seq, nil
+	return w.seg.Load(), nil
 }
 
 // RemoveSegmentsBelow deletes segments with sequence < seq (never the
 // active one). The checkpointer calls it after its snapshot is durable.
 func (w *WAL) RemoveSegmentsBelow(seq int64) error {
-	w.mu.Lock()
-	if seq > w.seq {
-		seq = w.seq
+	if cur := w.seg.Load(); seq > cur {
+		seq = cur
 	}
-	w.mu.Unlock()
 	segs, err := listSegments(w.dir)
 	if err != nil {
 		return err
@@ -453,65 +912,119 @@ func (w *WAL) RemoveSegmentsBelow(seq int64) error {
 			return fmt.Errorf("durable: removing segment %d: %w", s.seq, err)
 		}
 	}
-	w.mu.Lock()
-	if seq > w.firstSeq {
-		w.firstSeq = seq
+	for {
+		cur := w.firstSeg.Load()
+		if seq <= cur || w.firstSeg.CompareAndSwap(cur, seq) {
+			break
+		}
 	}
-	w.mu.Unlock()
 	return nil
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters. It never takes ioMu — the writer holds
+// that across fsync, and a /stats read must not stall behind disk
+// writeback.
 func (w *WAL) Stats() WALStats {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return WALStats{
-		Appended:   w.appended,
-		Synced:     w.synced.Load(),
-		Bytes:      w.bytes,
-		Segments:   w.seq - w.firstSeq + 1,
-		SegmentSeq: w.seq,
-		Policy:     w.opts.Sync.String(),
+	staged := int64(0)
+	for i := range w.stripes {
+		st := &w.stripes[i]
+		st.mu.Lock()
+		staged += int64(len(st.recs))
+		st.mu.Unlock()
+	}
+	seg, first := w.seg.Load(), w.firstSeg.Load()
+	s := WALStats{
+		Appended:           w.appended.Load(),
+		Synced:             w.synced.Load(),
+		Bytes:              w.bytes.Load(),
+		Segments:           seg - first + 1,
+		SegmentSeq:         seg,
+		Policy:             w.opts.Sync.String(),
+		GroupCommits:       w.groupCommits.Load(),
+		GroupCommitRecords: w.commitRecords.Load(),
+		MaxCommitBatch:     w.maxBatch.Load(),
+		Staged:             staged,
+		Stripes:            len(w.stripes),
+	}
+	if s.GroupCommits > 0 {
+		s.MeanCommitBatch = float64(s.GroupCommitRecords) / float64(s.GroupCommits)
+	}
+	return s
+}
+
+// closeStripes marks every stripe closed (failing subsequent appends)
+// and must run before the final drain so nothing stages after it.
+func (w *WAL) closeStripes() {
+	w.closed.Store(true)
+	for i := range w.stripes {
+		st := &w.stripes[i]
+		st.mu.Lock()
+		st.closed = true
+		st.mu.Unlock()
 	}
 }
 
-// Close flushes, fsyncs and closes the log.
+// stopWriter halts the background writer goroutine.
+func (w *WAL) stopWriter() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+// Close drains, flushes, fsyncs and closes the log. On failure any
+// parked SyncAlways producer is woken with the error — a shutdown I/O
+// error must not strand a request handler on the commit notify.
 func (w *WAL) Close() error {
-	w.stopSyncLoop()
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
+	w.closeStripes()
+	w.stopWriter()
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
+	if w.ioClosed {
 		return nil
 	}
-	w.closed = true
-	if err := w.syncLocked(); err != nil {
+	w.ioClosed = true
+	if w.terminalFlag.Load() {
+		// A terminal log must not drain: still-staged records belong to
+		// producers that were already told their commit failed, and
+		// writing them now would put "failed" mutations in the log.
+		w.f.Close()
+		w.commitMu.Lock()
+		err := w.lastErr
+		w.commitMu.Unlock()
 		return err
 	}
+	if _, err := w.drainLocked(); err != nil {
+		w.publishErrorLocked(err)
+		return err
+	}
+	if err := w.syncLocked(); err != nil {
+		w.publishErrorLocked(err)
+		return err
+	}
+	w.publishDurableLocked()
 	return w.f.Close()
 }
 
-// Abandon drops the log without flushing buffered records — the
+// Abandon drops the log without draining or flushing — the
 // crash-simulation path used by tests and the load generator's -restart
-// workload: whatever the OS has not been handed is lost, exactly as in
-// a process kill.
+// workload: whatever the writer has not handed to the OS is lost,
+// exactly as in a process kill. Parked SyncAlways producers are woken
+// with an error.
 func (w *WAL) Abandon() {
-	w.stopSyncLoop()
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
+	w.closeStripes()
+	w.stopWriter()
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
+	if w.ioClosed {
 		return
 	}
-	w.closed = true
+	w.ioClosed = true
 	w.f.Close()
-}
-
-func (w *WAL) stopSyncLoop() {
-	w.mu.Lock()
-	stop, done := w.stop, w.done
-	w.stop = nil
-	w.mu.Unlock()
-	if stop != nil {
-		close(stop)
-		<-done
+	w.commitMu.Lock()
+	if w.lastErr == nil {
+		w.lastErr = fmt.Errorf("durable: wal abandoned")
 	}
+	w.terminal = true
+	w.terminalFlag.Store(true)
+	w.commitCond.Broadcast()
+	w.commitMu.Unlock()
 }

@@ -50,8 +50,11 @@ func (l *latencyAgg) view() LatencyView {
 // StatsView is the /stats response: plan-cache counters (with hit rate),
 // warm-vs-cold plan latency, the feedback store's preference-index
 // counters (index vs replay reads, compaction progress), the user-shard
-// lock-contention counters, and — when a warmer is attached — the
-// precompute scheduler's counters.
+// lock-contention counters (including the commit barrier's per-stripe
+// contention and quiesce counts under locks.barrier), and — when a
+// warmer is attached — the precompute scheduler's counters. With a data
+// directory the durability block adds the WAL's group-commit batch
+// sizes and the checkpoint barrier-pause timings.
 type StatsView struct {
 	Cache plancache.Stats `json:"cache"`
 	Plan  struct {

@@ -106,6 +106,89 @@ type LockStats struct {
 	Shards    int   `json:"shards"`
 	Ops       int64 `json:"ops"`
 	Contended int64 `json:"contended"`
+	// Barrier reports the commit-barrier stripe counters.
+	Barrier BarrierStats `json:"barrier"`
+}
+
+// BarrierStats are the commit barrier's contention counters: every
+// durable write path takes one stripe's read side, so Contended stays
+// near zero except while a checkpoint quiesce is in flight (or when a
+// workload hammers few users). PerStripeContended localizes a hot
+// stripe.
+type BarrierStats struct {
+	Stripes            int     `json:"stripes"`
+	Ops                int64   `json:"ops"`
+	Contended          int64   `json:"contended"`
+	Quiesces           int64   `json:"quiesces"`
+	PerStripeContended []int64 `json:"per_stripe_contended,omitempty"`
+}
+
+// barrierStripe is one stripe of the commit barrier, padded to a cache
+// line so concurrent writers on different stripes never false-share the
+// reader counts — the single global RWMutex this replaces made every
+// mutating entry point (and the pure reads that shared its cache line)
+// bounce one word across every core.
+type barrierStripe struct {
+	mu        sync.RWMutex
+	ops       atomic.Int64
+	contended atomic.Int64
+	_         [64 - 24 - 16]byte
+}
+
+// commitBarrier fences the durable write paths against the
+// checkpointer, striped so writers for different users share nothing.
+// Writers take only their user-shard stripe's read side; the
+// checkpointer (and hook swaps) quiesce by write-locking every stripe.
+// Pure read paths never touch it.
+type commitBarrier struct {
+	stripes  []barrierStripe
+	quiesces atomic.Int64
+}
+
+// rlock takes the read side of one stripe, counting acquisitions that
+// found it held by a quiesce.
+func (b *commitBarrier) rlock(i uint32) {
+	st := &b.stripes[i]
+	st.ops.Add(1)
+	if !st.mu.TryRLock() {
+		st.contended.Add(1)
+		st.mu.RLock()
+	}
+}
+
+func (b *commitBarrier) runlock(i uint32) { b.stripes[i].mu.RUnlock() }
+
+// quiesce write-locks every stripe in order, excluding every durable
+// write path; release unlocks in reverse. The pair brackets checkpoint
+// snapshots and mutation-hook swaps.
+func (b *commitBarrier) quiesce() {
+	b.quiesces.Add(1)
+	for i := range b.stripes {
+		b.stripes[i].mu.Lock()
+	}
+}
+
+func (b *commitBarrier) release() {
+	for i := len(b.stripes) - 1; i >= 0; i-- {
+		b.stripes[i].mu.Unlock()
+	}
+}
+
+// stats snapshots the barrier counters.
+func (b *commitBarrier) stats() BarrierStats {
+	s := BarrierStats{
+		Stripes:            len(b.stripes),
+		Quiesces:           b.quiesces.Load(),
+		PerStripeContended: make([]int64, len(b.stripes)),
+	}
+	for i := range b.stripes {
+		st := &b.stripes[i]
+		s.Ops += st.ops.Load()
+		c := st.contended.Load()
+		s.Contended += c
+		s.PerStripeContended[i] = c
+	}
+	return s
 }
 
 // System is the PPHCR content server.
@@ -135,16 +218,22 @@ type System struct {
 	lockOps       atomic.Int64
 	lockContended atomic.Int64
 
-	// durMu fences the durable write paths against the checkpointer:
+	// barrier fences the durable write paths against the checkpointer:
 	// every mutating entry point applies its state change AND emits its
-	// WAL event inside one read-locked section, and the checkpointer
-	// takes the write lock to snapshot + rotate the WAL at a point where
-	// state and log agree exactly (no applied-but-unlogged or
-	// logged-but-unapplied mutation can straddle the boundary).
-	durMu sync.RWMutex
+	// WAL event inside one read-locked stripe section (the stripe is the
+	// user's shard index, so writers for different users share no
+	// barrier state), and the checkpointer quiesces all stripes to
+	// snapshot + rotate the WAL at a point where state and log agree
+	// exactly (no applied-but-unlogged or logged-but-unapplied mutation
+	// can straddle the boundary). Pure read paths — PlanTrip serving,
+	// Recommend without pending injections, cache lookups, /stats —
+	// never touch it.
+	barrier commitBarrier
 	// durHook, when set, receives exactly one durable event per
-	// completed mutation. Set via SetMutationHook before serving.
-	durHook func(durable.Event) error
+	// completed mutation, tagged with the barrier stripe the writer
+	// held (which the WAL reuses as its staging stripe). Set via
+	// SetMutationHook before serving.
+	durHook func(stripe uint32, e durable.Event) error
 	// ingestMu pins WAL order to apply order for the (userless) ingest
 	// path the way the shard locks do for per-user mutations.
 	ingestMu sync.Mutex
@@ -162,15 +251,27 @@ const (
 	fnvPrime32  = 16777619
 )
 
-// shardFor returns the stripe holding the user's state.
-func (s *System) shardFor(userID string) *userShard {
+// shardIndexFor returns the stripe index of the user's state — shared
+// by the per-user shard locks, the commit-barrier stripes and the WAL
+// staging stripes, so one hash places a writer everywhere.
+func (s *System) shardIndexFor(userID string) uint32 {
 	h := uint32(fnvOffset32)
 	for i := 0; i < len(userID); i++ {
 		h ^= uint32(userID[i])
 		h *= fnvPrime32
 	}
-	return &s.shards[h&s.shardMask]
+	return h & s.shardMask
 }
+
+// shardFor returns the stripe holding the user's state.
+func (s *System) shardFor(userID string) *userShard {
+	return &s.shards[s.shardIndexFor(userID)]
+}
+
+// ingestStripe is the barrier/WAL stripe of the userless content-ingest
+// path (ingest order is pinned by ingestMu; the stripe only has to be
+// deterministic so the checkpoint quiesce excludes it).
+const ingestStripe = 0
 
 // lockShard / rlockShard acquire the shard mutex, counting acquisitions
 // that found it already held.
@@ -190,12 +291,14 @@ func (s *System) rlockShard(sh *userShard) {
 	}
 }
 
-// LockStats snapshots the user-shard lock counters (reported on /stats).
+// LockStats snapshots the user-shard lock and commit-barrier counters
+// (reported on /stats).
 func (s *System) LockStats() LockStats {
 	return LockStats{
 		Shards:    len(s.shards),
 		Ops:       s.lockOps.Load(),
 		Contended: s.lockContended.Load(),
+		Barrier:   s.barrier.stats(),
 	}
 }
 
@@ -252,6 +355,7 @@ func New(cfg Config) (*System, error) {
 		shards:          make([]userShard, nShards),
 		shardMask:       uint32(nShards - 1),
 	}
+	s.barrier.stripes = make([]barrierStripe, nShards)
 	for i := range s.shards {
 		s.shards[i].mobility = make(map[string]*tracking.CompactModel)
 		s.shards[i].compactN = make(map[string]int)
@@ -278,22 +382,25 @@ func (s *System) PipelineStats() pipeline.Stats {
 
 // SetMutationHook installs the durability hook: from now on every
 // write-path entry point hands exactly one durable event describing its
-// completed mutation to fn, inside the same critical section that
-// applied it. OpenDurability installs the WAL appender here after
-// recovery; tests may install capture hooks. Passing nil detaches.
+// completed mutation to fn — tagged with the writer's barrier stripe —
+// inside the same critical section that applied it. OpenDurability
+// installs the WAL's striped appender here after recovery; tests may
+// install capture hooks. Passing nil detaches.
 //
 // A hook error is returned to the entry point's caller (the mutation is
 // already applied in memory — the next checkpoint still persists it —
 // but the caller learns its write is not yet logged).
-func (s *System) SetMutationHook(fn func(durable.Event) error) {
-	s.durMu.Lock()
+func (s *System) SetMutationHook(fn func(stripe uint32, e durable.Event) error) {
+	// Quiescing every barrier stripe orders the swap against all
+	// writers: each reads the hook under its stripe's read lock.
+	s.barrier.quiesce()
 	s.durHook = fn
-	s.durMu.Unlock()
+	s.barrier.release()
 }
 
 // emit marshals payload and hands the typed event to the mutation hook.
-// Callers must hold durMu (read side).
-func (s *System) emit(t durable.Type, payload interface{}) error {
+// Callers must hold the read side of barrier stripe `stripe`.
+func (s *System) emit(stripe uint32, t durable.Type, payload interface{}) error {
 	if s.durHook == nil {
 		return nil
 	}
@@ -301,7 +408,7 @@ func (s *System) emit(t durable.Type, payload interface{}) error {
 	if err != nil {
 		return fmt.Errorf("pphcr: encoding %s event: %w", t, err)
 	}
-	if err := s.durHook(durable.Event{Type: t, Payload: b}); err != nil {
+	if err := s.durHook(stripe, durable.Event{Type: t, Payload: b}); err != nil {
 		return fmt.Errorf("pphcr: logging %s event: %w", t, err)
 	}
 	return nil
@@ -310,19 +417,26 @@ func (s *System) emit(t durable.Type, payload interface{}) error {
 // checkpointBarrier runs fn with every durable write path excluded, so
 // fn observes a state that exactly matches a WAL position.
 func (s *System) checkpointBarrier(fn func()) {
-	s.durMu.Lock()
-	defer s.durMu.Unlock()
+	s.barrier.quiesce()
+	defer s.barrier.release()
 	fn()
 }
 
-// RegisterUser stores a listener profile.
+// RegisterUser stores a listener profile. Apply + emit run under the
+// user's shard lock so two racing registrations of the same user reach
+// the WAL in their apply order.
 func (s *System) RegisterUser(p profile.Profile) error {
-	s.durMu.RLock()
-	defer s.durMu.RUnlock()
-	if err := s.Profiles.Put(p); err != nil {
-		return err
+	idx := s.shardIndexFor(p.UserID)
+	s.barrier.rlock(idx)
+	defer s.barrier.runlock(idx)
+	sh := &s.shards[idx]
+	s.lockShard(sh)
+	err := s.Profiles.Put(p)
+	if err == nil {
+		err = s.emit(idx, durable.TypeRegister, p)
 	}
-	if err := s.emit(durable.TypeRegister, p); err != nil {
+	sh.mu.Unlock()
+	if err != nil {
 		return err
 	}
 	s.Broker.Publish("users.registered", []byte(p.UserID))
@@ -348,14 +462,14 @@ func (s *System) IngestPodcast(raw content.RawPodcast) (*content.Item, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.durMu.RLock()
-	defer s.durMu.RUnlock()
+	s.barrier.rlock(ingestStripe)
+	defer s.barrier.runlock(ingestStripe)
 	// emit + Add under one mutex, mirroring the per-user shard locking
 	// of the other write paths: two concurrent ingests of the same ID
 	// must reach the WAL in their apply order, or replay would keep the
 	// loser's item instead of the winner's.
 	s.ingestMu.Lock()
-	err = s.emit(durable.TypeIngest, it)
+	err = s.emit(ingestStripe, durable.TypeIngest, it)
 	added := false
 	if err == nil || errors.Is(err, durable.ErrDeferredSync) {
 		// ErrDeferredSync means an *earlier* fsync failed but THIS
@@ -392,8 +506,8 @@ func (s *System) IngestPodcast(raw content.RawPodcast) (*content.Item, error) {
 // whose apply failed live (duplicate ID, invalid duration) fails here
 // identically — skipping reproduces the live outcome.
 func (s *System) restoreItem(it *content.Item) error {
-	s.durMu.RLock()
-	defer s.durMu.RUnlock()
+	s.barrier.rlock(ingestStripe)
+	defer s.barrier.runlock(ingestStripe)
 	if err := s.Repo.Add(it); err != nil {
 		return nil
 	}
@@ -409,13 +523,14 @@ func (s *System) restoreItem(it *content.Item) error {
 // replay would reconstruct a state the live system never had (an
 // out-of-order fix pair would even fail recovery outright).
 func (s *System) RecordFix(userID string, fix trajectory.Fix) error {
-	s.durMu.RLock()
-	defer s.durMu.RUnlock()
-	sh := s.shardFor(userID)
+	idx := s.shardIndexFor(userID)
+	s.barrier.rlock(idx)
+	defer s.barrier.runlock(idx)
+	sh := &s.shards[idx]
 	s.lockShard(sh)
 	err := s.Tracker.Record(userID, fix)
 	if err == nil {
-		err = s.emit(durable.TypeFix, fixEvent{User: userID, Fix: fix})
+		err = s.emit(idx, durable.TypeFix, fixEvent{User: userID, Fix: fix})
 	}
 	sh.mu.Unlock()
 	if err != nil {
@@ -429,14 +544,15 @@ func (s *System) RecordFix(userID string, fix trajectory.Fix) error {
 // user's shard lock so the WAL preserves per-user apply order (see
 // RecordFix).
 func (s *System) AddFeedback(e feedback.Event) error {
-	s.durMu.RLock()
-	defer s.durMu.RUnlock()
-	sh := s.shardFor(e.UserID)
+	idx := s.shardIndexFor(e.UserID)
+	s.barrier.rlock(idx)
+	defer s.barrier.runlock(idx)
+	sh := &s.shards[idx]
 	s.lockShard(sh)
 	err := s.Feedback.Append(e)
 	applied := err == nil
 	if applied {
-		err = s.emit(durableTypeForKind(e.Kind), e)
+		err = s.emit(idx, durableTypeForKind(e.Kind), e)
 	}
 	sh.mu.Unlock()
 	if applied {
@@ -455,8 +571,9 @@ func (s *System) AddFeedback(e feedback.Event) error {
 // CompactTracking runs the periodic tracking compaction for a user and
 // caches the resulting mobility model.
 func (s *System) CompactTracking(userID string) (*tracking.CompactModel, error) {
-	s.durMu.RLock()
-	defer s.durMu.RUnlock()
+	idx := s.shardIndexFor(userID)
+	s.barrier.rlock(idx)
+	defer s.barrier.runlock(idx)
 	return s.compactTracking(userID, -1)
 }
 
@@ -465,9 +582,11 @@ func (s *System) CompactTracking(userID string) (*tracking.CompactModel, error) 
 // installed and the WAL event emitted under the user's shard lock, and
 // the event carries the pinned count, so replay re-derives the model
 // from exactly the same trace prefix no matter how concurrent fixes
-// interleaved with the compaction. Callers hold durMu (read side).
+// interleaved with the compaction. Callers hold the user's barrier
+// stripe (read side).
 func (s *System) compactTracking(userID string, n int) (*tracking.CompactModel, error) {
-	sh := s.shardFor(userID)
+	idx := s.shardIndexFor(userID)
+	sh := &s.shards[idx]
 	s.lockShard(sh)
 	if n < 0 {
 		n = s.Tracker.FixCount(userID)
@@ -479,7 +598,7 @@ func (s *System) compactTracking(userID string, n int) (*tracking.CompactModel, 
 	}
 	sh.mobility[userID] = cm
 	sh.compactN[userID] = n
-	err = s.emit(durable.TypeCompact, compactEvent{User: userID, N: n})
+	err = s.emit(idx, durable.TypeCompact, compactEvent{User: userID, N: n})
 	sh.mu.Unlock()
 	// The model is installed whether or not the WAL append succeeded,
 	// and re-compaction renumbers the user's staying points — cached
@@ -544,16 +663,27 @@ func (s *System) Preferences(userID string, now time.Time) map[string]float64 {
 // every event), so warm plans stay valid and no cache invalidation is
 // needed. It returns the number of events folded away.
 func (s *System) CompactFeedback(userID string, now time.Time, horizon time.Duration) int {
-	s.durMu.RLock()
-	defer s.durMu.RUnlock()
+	idx := s.shardIndexFor(userID)
+	s.barrier.rlock(idx)
+	defer s.barrier.runlock(idx)
+	sh := &s.shards[idx]
+	// The shard lock pins the WAL position of the fold relative to the
+	// user's racing AddFeedback emits (both apply to the feedback store
+	// and must replay in apply order).
+	s.lockShard(sh)
 	n := s.Feedback.Compact(userID, now, horizon)
+	var emitErr error
 	if n > 0 {
 		// The fold is deterministic in (user, now, horizon), so the WAL
 		// event records the arguments and replay re-runs the fold. The
 		// signature cannot propagate an emit failure, so it is counted
 		// (surfaced on /stats) — and the WAL's sticky error resurfaces
 		// on the next mutation anyway.
-		if err := s.emit(durable.TypeFeedbackCompact, feedbackCompactEvent{User: userID, At: now, Horizon: horizon}); err != nil {
+		emitErr = s.emit(idx, durable.TypeFeedbackCompact, feedbackCompactEvent{User: userID, At: now, Horizon: horizon})
+	}
+	sh.mu.Unlock()
+	if n > 0 {
+		if emitErr != nil {
 			s.emitErrs.Add(1)
 		}
 		// Deliberately NOT under "feedback.#": compaction does not change
@@ -599,9 +729,25 @@ func (s *System) Recommend(userID string, ctx recommend.Context, k int) []recomm
 // full relevance, deduplicated; seen holds the resolved IDs so callers
 // can drop them from the organic ranking. Shared by Recommend and the
 // skip replacement path so the pinning semantics cannot drift.
+//
+// The overwhelmingly common case — no pending injection — is a pure
+// read and must not touch the commit barrier: Recommend and the skip
+// paths sit on the request hot path, and the PR 4 regression came
+// precisely from reads funneling through the global durability lock.
+// Only when the peek finds queued items does the call upgrade to a
+// barrier-fenced mutation (lock order: barrier stripe before shard
+// lock, same as every write path — hence the re-lock dance).
 func (s *System) consumeInjections(userID string) (pinned []recommend.Scored, seen map[string]bool) {
-	s.durMu.RLock()
-	sh := s.shardFor(userID)
+	idx := s.shardIndexFor(userID)
+	sh := &s.shards[idx]
+	s.rlockShard(sh)
+	empty := len(sh.injected[userID]) == 0
+	sh.mu.RUnlock()
+	if empty {
+		return nil, nil
+	}
+
+	s.barrier.rlock(idx)
 	s.lockShard(sh)
 	pinnedIDs := sh.injected[userID]
 	delete(sh.injected, userID)
@@ -611,12 +757,12 @@ func (s *System) consumeInjections(userID string) (pinned []recommend.Scored, se
 		// Emitted under the shard lock so a racing Inject for the same
 		// user cannot land in the WAL on the wrong side of this consume;
 		// the signature cannot propagate a failure, so it is counted.
-		if err := s.emit(durable.TypeConsume, consumeEvent{User: userID}); err != nil {
+		if err := s.emit(idx, durable.TypeConsume, consumeEvent{User: userID}); err != nil {
 			s.emitErrs.Add(1)
 		}
 	}
 	sh.mu.Unlock()
-	s.durMu.RUnlock()
+	s.barrier.runlock(idx)
 	if len(pinnedIDs) == 0 {
 		return nil, nil
 	}
@@ -634,15 +780,16 @@ func (s *System) consumeInjections(userID string) (pinned []recommend.Scored, se
 // dashboard's "inject recommended audio content to specific users",
 // §2 and Fig 6).
 func (s *System) Inject(userID, itemID string) error {
-	s.durMu.RLock()
-	defer s.durMu.RUnlock()
+	idx := s.shardIndexFor(userID)
+	s.barrier.rlock(idx)
+	defer s.barrier.runlock(idx)
 	if _, ok := s.Repo.Get(itemID); !ok {
 		return fmt.Errorf("pphcr: cannot inject unknown item %q", itemID)
 	}
-	sh := s.shardFor(userID)
+	sh := &s.shards[idx]
 	s.lockShard(sh)
 	sh.injected[userID] = append(sh.injected[userID], itemID)
-	err := s.emit(durable.TypeInject, injectEvent{User: userID, Item: itemID})
+	err := s.emit(idx, durable.TypeInject, injectEvent{User: userID, Item: itemID})
 	sh.mu.Unlock()
 	if err != nil {
 		return err
