@@ -14,6 +14,7 @@ import (
 	"pphcr"
 	"pphcr/internal/experiments"
 	"pphcr/internal/feedback"
+	"pphcr/internal/obs"
 	"pphcr/internal/plancache"
 	"pphcr/internal/predict"
 	"pphcr/internal/recommend"
@@ -148,10 +149,13 @@ func getPlanEnv(b *testing.B) *planBenchEnv {
 
 func BenchmarkPlanTripCold(b *testing.B) {
 	env := getPlanEnv(b)
+	var lat obs.Histogram
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		env.sys.PlanCache.InvalidateUser(env.user)
+		t0 := time.Now()
 		tp, err := env.sys.PlanTrip(env.user, env.partial, env.now, nil)
+		lat.Observe(time.Since(t0))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,6 +163,7 @@ func BenchmarkPlanTripCold(b *testing.B) {
 			b.Fatalf("source = %q", tp.Source)
 		}
 	}
+	b.ReportMetric(float64(lat.Snapshot().Quantile(0.99)), "p99-ns/op")
 }
 
 func BenchmarkPlanTripWarm(b *testing.B) {

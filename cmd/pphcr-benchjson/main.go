@@ -39,6 +39,9 @@ type Benchmark struct {
 	NsPerOp  float64 `json:"ns_per_op"`
 	BPerOp   float64 `json:"b_per_op,omitempty"`
 	AllocsOp float64 `json:"allocs_per_op,omitempty"`
+	// P99NsPerOp carries the custom p99-ns/op metric the tail-latency
+	// benchmarks report via b.ReportMetric.
+	P99NsPerOp float64 `json:"p99_ns_per_op,omitempty"`
 }
 
 // Output is the JSON document shape.
@@ -52,6 +55,7 @@ var (
 	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 	bytesPerOp = regexp.MustCompile(`([\d.]+) B/op`)
 	allocsOp   = regexp.MustCompile(`([\d.]+) allocs/op`)
+	p99Metric  = regexp.MustCompile(`([\d.]+) p99-ns/op`)
 )
 
 // highlightNames maps benchmark base names to the headline keys the
@@ -72,6 +76,13 @@ var highlightNames = map[string]string{
 	"BenchmarkRecoveryReplay":           "recovery_replay_ns",
 }
 
+// p99HighlightNames maps benchmark base names to the tail-latency
+// headline keys, filled from the p99-ns/op custom metric.
+var p99HighlightNames = map[string]string{
+	"BenchmarkPlanTripCold": "plan_p99_ns",
+	"BenchmarkWALAppend":    "wal_append_p99_ns",
+}
+
 // gatedHighlights are the tier-1 highlights the regression gate
 // watches, with the direction a regression moves: ns-per-op metrics
 // regress by growing, speedup/throughput metrics by shrinking.
@@ -83,7 +94,9 @@ var gatedHighlights = map[string]bool{ // name -> lowerIsBetter
 	"feedback_append_ns":       true,
 	"plan_cold_ns":             true,
 	"plan_warm_ns":             true,
+	"plan_p99_ns":              true,
 	"wal_append_ns":            true,
+	"wal_append_p99_ns":        true,
 	"skip_topk_ns":             true,
 	"warm_batch_ns":            true,
 	"plan_speedup_x":           false,
@@ -159,6 +172,9 @@ func main() {
 		if am := allocsOp.FindStringSubmatch(m[4]); am != nil {
 			b.AllocsOp, _ = strconv.ParseFloat(am[1], 64)
 		}
+		if pm := p99Metric.FindStringSubmatch(m[4]); pm != nil {
+			b.P99NsPerOp, _ = strconv.ParseFloat(pm[1], 64)
+		}
 		// Keep-last dedupe: a stabilization pass re-running headline
 		// benchmarks at a longer benchtime can be concatenated after the
 		// 1x sweep and its (better-sampled) numbers win.
@@ -175,6 +191,9 @@ func main() {
 		}
 		if key, ok := highlightNames[b.Name]; ok {
 			out.Highlights[key] = b.NsPerOp
+		}
+		if key, ok := p99HighlightNames[b.Name]; ok && b.P99NsPerOp > 0 {
+			out.Highlights[key] = b.P99NsPerOp
 		}
 	}
 	if err := sc.Err(); err != nil {

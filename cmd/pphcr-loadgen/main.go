@@ -22,7 +22,6 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +29,7 @@ import (
 	"pphcr"
 	"pphcr/internal/durable"
 	"pphcr/internal/feedback"
+	"pphcr/internal/obs"
 	"pphcr/internal/pipeline"
 	"pphcr/internal/recommend"
 	"pphcr/internal/synth"
@@ -54,12 +54,6 @@ const (
 var opNames = [numOps]string{
 	"plan", "plan-batch", "feedback", "fix", "recommend", "prefs",
 	"compact-track", "compact-feedback", "register", "ingest",
-}
-
-// sample is one measured operation.
-type sample struct {
-	op  int
-	dur time.Duration
 }
 
 // driver is a prepared user with a mobility model and a partial trace to
@@ -243,7 +237,7 @@ func main() {
 		regNext     atomic.Int64
 		rejected    atomic.Int64
 		wg          sync.WaitGroup
-		all         = make([][]sample, *workers)
+		all         = make([][numOps]obs.Histogram, *workers)
 		timedStart  = time.Now()
 		usersByName = make([]string, len(registered))
 	)
@@ -255,7 +249,6 @@ func main() {
 		go func(wk int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(wk)*7919))
-			samples := make([]sample, 0, *ops / *workers + 8)
 			for {
 				if next.Add(1) > int64(*ops) {
 					break
@@ -328,9 +321,8 @@ func main() {
 						op = opPrefs
 					}
 				}
-				samples = append(samples, sample{op: op, dur: time.Since(t0)})
+				all[wk][op].Observe(time.Since(t0))
 			}
-			all[wk] = samples
 		}(wk)
 	}
 	wg.Wait()
@@ -350,8 +342,8 @@ func main() {
 		{"predict", ps.Predict}, {"gate", ps.Gate}, {"candidates", ps.Candidates},
 		{"rank", ps.Rank}, {"allocate", ps.Allocate},
 	} {
-		fmt.Printf("  %-10s count=%-8d avg=%8.1fµs max=%8.1fµs\n",
-			row.name, row.st.Count, row.st.AvgMicros, row.st.MaxMicros)
+		fmt.Printf("  %-10s count=%-8d p50=%8.1fµs p95=%8.1fµs p99=%8.1fµs max=%8.1fµs\n",
+			row.name, row.st.Count, row.st.P50Micros, row.st.P95Micros, row.st.P99Micros, row.st.MaxMicros)
 	}
 	fmt.Printf("\nlocks: shards=%d ops=%d contended=%d (%.3f%%)\n",
 		lock.Shards, lock.Ops, lock.Contended, 100*pct(lock.Contended, lock.Ops))
@@ -434,7 +426,7 @@ func runContended(workers, users, ops int, seed int64, walSync, dataDir string) 
 		next     atomic.Int64
 		rejected atomic.Int64
 		wg       sync.WaitGroup
-		all      = make([][]sample, workers)
+		all      = make([][numOps]obs.Histogram, workers)
 	)
 	timedStart := time.Now()
 	for wk := 0; wk < workers; wk++ {
@@ -442,7 +434,6 @@ func runContended(workers, users, ops int, seed int64, walSync, dataDir string) 
 		go func(wk int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(wk)*104729))
-			samples := make([]sample, 0, ops/workers+8)
 			for {
 				i := next.Add(1)
 				if i > int64(ops) {
@@ -473,9 +464,8 @@ func runContended(workers, users, ops int, seed int64, walSync, dataDir string) 
 						rejected.Add(1)
 					}
 				}
-				samples = append(samples, sample{op: op, dur: time.Since(t0)})
+				all[wk][op].Observe(time.Since(t0))
 			}
-			all[wk] = samples
 		}(wk)
 	}
 	// A checkpointer quiescing mid-storm is part of the adversarial
@@ -615,33 +605,36 @@ func pct(a, b int64) float64 {
 	return float64(a) / float64(b)
 }
 
-// report prints throughput and per-op latency percentiles.
-func report(all [][]sample, elapsed time.Duration, rejected int64) {
-	byOp := make([][]time.Duration, numOps)
-	total := 0
-	for _, samples := range all {
-		for _, s := range samples {
-			byOp[s.op] = append(byOp[s.op], s.dur)
-			total++
+// report merges the per-worker histograms and prints throughput and
+// per-op latency quantiles — the same estimator the server exposes on
+// /stats and /metrics, so a loadgen number and a scrape number are
+// directly comparable. Quantiles are within one 1.25× bucket of exact;
+// the max is tracked exactly.
+func report(all [][numOps]obs.Histogram, elapsed time.Duration, rejected int64) {
+	var merged [numOps]obs.Snapshot
+	var total int64
+	for wk := range all {
+		for op := 0; op < numOps; op++ {
+			merged[op].Merge(all[wk][op].Snapshot())
 		}
+	}
+	for op := range merged {
+		total += merged[op].Count
 	}
 	fmt.Printf("\n%d ops in %v — %.0f ops/sec (%d rejected)\n\n",
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), rejected)
-	fmt.Printf("%-18s %8s %12s %12s %12s %12s\n", "op", "count", "p50", "p99", "max", "mean")
-	for op, durs := range byOp {
-		if len(durs) == 0 {
+	fmt.Printf("%-18s %8s %12s %12s %12s %12s %12s\n", "op", "count", "p50", "p95", "p99", "max", "mean")
+	for op := range merged {
+		s := merged[op]
+		if s.Count == 0 {
 			continue
 		}
-		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
-		var sum time.Duration
-		for _, d := range durs {
-			sum += d
-		}
-		fmt.Printf("%-18s %8d %12v %12v %12v %12v\n",
-			opNames[op], len(durs),
-			durs[len(durs)/2].Round(time.Microsecond),
-			durs[len(durs)*99/100].Round(time.Microsecond),
-			durs[len(durs)-1].Round(time.Microsecond),
-			(sum / time.Duration(len(durs))).Round(time.Microsecond))
+		fmt.Printf("%-18s %8d %12v %12v %12v %12v %12v\n",
+			opNames[op], s.Count,
+			time.Duration(s.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(s.Quantile(0.95)).Round(time.Microsecond),
+			time.Duration(s.Quantile(0.99)).Round(time.Microsecond),
+			time.Duration(s.MaxNs).Round(time.Microsecond),
+			time.Duration(s.MeanNs()).Round(time.Microsecond))
 	}
 }

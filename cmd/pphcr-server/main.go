@@ -10,6 +10,7 @@
 // Then, for example:
 //
 //	curl localhost:8080/healthz
+//	curl localhost:8080/metrics
 //	curl localhost:8080/api/services
 //	curl 'localhost:8080/api/recommendations?user=user-000&k=5'
 //	open 'localhost:8080/dashboard/trajectory?user=user-000'
@@ -19,8 +20,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -29,10 +32,76 @@ import (
 	"pphcr/internal/dashboard"
 	"pphcr/internal/durable"
 	"pphcr/internal/httpapi"
+	"pphcr/internal/obs"
 	"pphcr/internal/precompute"
 	"pphcr/internal/service"
 	"pphcr/internal/synth"
 )
+
+// fatal logs the error at ERROR and exits; the slog equivalent of
+// log.Fatal for boot-time failures.
+func fatal(msg string, err error) {
+	slog.Error(msg, "err", err)
+	os.Exit(1)
+}
+
+// parseLogLevel maps the -log-level flag to a slog.Level.
+func parseLogLevel(s string) (slog.Level, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("bad -log-level %q (use debug, info, warn or error)", s)
+	}
+	return lvl, nil
+}
+
+// logStatusRecorder captures the status and byte count a handler wrote,
+// for the access log.
+type logStatusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *logStatusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *logStatusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// accessLog wraps the whole mux: it installs the request-user slot on
+// the context (handlers fill it via obs.NoteRequestUser) and logs
+// method, path, status, bytes and duration per request. Probe and
+// scrape endpoints log at DEBUG so a 15s scrape interval doesn't bury
+// the real traffic.
+func accessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := obs.WithRequestUser(r.Context())
+		rec := &logStatusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		lvl := slog.LevelInfo
+		switch r.URL.Path {
+		case "/healthz", "/readyz", "/metrics":
+			lvl = slog.LevelDebug
+		}
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"dur", time.Since(start).Round(time.Microsecond),
+		}
+		if u := obs.RequestUser(ctx); u != "" {
+			attrs = append(attrs, "user", u)
+		}
+		logger.Log(r.Context(), lvl, "request", attrs...)
+	})
+}
 
 func main() {
 	var (
@@ -51,13 +120,23 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "durability directory (WAL + checkpoints); empty runs in-memory only")
 		ckInterval  = flag.Duration("checkpoint-interval", time.Minute, "time between background checkpoints (0 disables; shutdown still checkpoints)")
 		walSync     = flag.String("wal-sync", "interval", "WAL fsync policy: always, interval or none")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		traceThresh = flag.Duration("trace-threshold", 250*time.Millisecond, "keep per-request stage traces slower than this in /debug/traces (0 disables tracing)")
 	)
 	flag.Parse()
 
-	log.Printf("generating synthetic world (seed=%d days=%d users=%d)...", *seed, *days, *users)
+	lvl, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fatal("flags", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	slog.SetDefault(logger)
+
+	slog.Info("generating synthetic world", "seed", *seed, "days", *days, "users", *users)
 	w, err := synth.GenerateWorld(synth.Params{Seed: *seed, Days: *days, Users: *users})
 	if err != nil {
-		log.Fatal(err)
+		fatal("generate world", err)
 	}
 	sys, err := pphcr.New(pphcr.Config{
 		TrainingDocs:    w.Training,
@@ -68,7 +147,16 @@ func main() {
 		UserShards:      *userShards,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("system init", err)
+	}
+
+	// The API server exists before recovery so the readiness boot gate is
+	// honest: closed until recovered state (or the synthetic preload) is
+	// in place, even if a deployment opens the listener earlier.
+	api := httpapi.NewServer(sys)
+	api.SetReady(false)
+	if *traceThresh > 0 {
+		api.EnableTracing(64, *traceThresh)
 	}
 
 	// Recovery runs before anything mutates the fresh System and before
@@ -79,7 +167,7 @@ func main() {
 	if *dataDir != "" {
 		policy, err := durable.ParseSyncPolicy(*walSync)
 		if err != nil {
-			log.Fatal(err)
+			fatal("durability", err)
 		}
 		// A directory with WAL segments but no checkpoint is a boot that
 		// crashed before its first checkpoint — i.e. mid-preload. Its
@@ -88,23 +176,35 @@ func main() {
 		// half-loaded world), so reset it and preload from scratch.
 		if ok, err := durable.Initialized(*dataDir); err == nil && !ok {
 			if err := durable.RemoveSegments(*dataDir); err != nil {
-				log.Fatal(err)
+				fatal("durability", err)
 			}
 		} else if err != nil {
-			log.Fatal(err)
+			fatal("durability", err)
 		}
 		start := time.Now()
 		dur, err = pphcr.OpenDurability(sys, pphcr.DurabilityOptions{Dir: *dataDir, Sync: policy})
 		if err != nil {
-			log.Fatal(err)
+			fatal("durability", err)
 		}
 		if dur.Recovered() {
-			log.Printf("recovered %d users, %d items from %s (%d WAL events replayed) in %v",
-				sys.Profiles.Len(), sys.Repo.Len(), *dataDir, dur.ReplayedEvents(),
-				time.Since(start).Round(time.Millisecond))
+			slog.Info("recovered",
+				"users", sys.Profiles.Len(), "items", sys.Repo.Len(), "dir", *dataDir,
+				"wal_events", dur.ReplayedEvents(), "dur", time.Since(start).Round(time.Millisecond))
 		} else {
-			log.Printf("durability enabled in %s (wal-sync=%s, empty directory)", *dataDir, policy)
+			slog.Info("durability enabled", "dir", *dataDir, "wal_sync", policy)
 		}
+		api.SetDurabilityStats(func() interface{} { return dur.Stats() })
+		// A sticky WAL error (wedge or terminal write failure) must eject
+		// the node from rotation: acknowledged writes are no longer durable.
+		api.SetReadinessCheck(dur.Healthy)
+		reg := api.Registry()
+		reg.RegisterHistogram("pphcr_wal_append_duration_seconds",
+			"WAL append latency, including the group-commit ticket wait under sync=always.",
+			nil, dur.WALAppendHistogram())
+		reg.RegisterHistogram("pphcr_wal_fsync_duration_seconds",
+			"WAL flush+fsync latency.", nil, dur.WALFsyncHistogram())
+		reg.RegisterHistogram("pphcr_checkpoint_pause_seconds",
+			"Checkpoint write-pause (commit-barrier quiesce hold).", nil, dur.PauseHistogram())
 	}
 
 	// The broadcast directory is ephemeral metadata (regenerated each
@@ -112,11 +212,11 @@ func main() {
 	horizon := w.Params.StartDate.AddDate(0, 0, w.Params.Days+8)
 	for _, svc := range w.Directory.Services() {
 		if err := sys.Directory.AddService(svc); err != nil {
-			log.Fatal(err)
+			fatal("directory", err)
 		}
 		for _, p := range w.Directory.ProgramsBetween(svc.ID, w.Params.StartDate, horizon) {
 			if err := sys.Directory.AddProgram(p); err != nil {
-				log.Fatal(err)
+				fatal("directory", err)
 			}
 		}
 	}
@@ -125,21 +225,21 @@ func main() {
 	// recovered one already holds this state (plus everything that
 	// happened since) and re-ingesting would duplicate it.
 	if dur == nil || !dur.Recovered() {
-		log.Printf("ingesting %d podcasts through the ASR+Bayes pipeline...", len(w.Corpus))
+		slog.Info("ingesting podcasts through the ASR+Bayes pipeline", "count", len(w.Corpus))
 		start := time.Now()
 		for _, raw := range w.Corpus {
 			if _, err := sys.IngestPodcast(raw); err != nil {
-				log.Fatal(err)
+				fatal("ingest", err)
 			}
 		}
-		log.Printf("ingested in %v", time.Since(start).Round(time.Millisecond))
+		slog.Info("ingested", "dur", time.Since(start).Round(time.Millisecond))
 		for _, p := range w.Personas {
 			if err := sys.RegisterUser(p.Profile); err != nil {
-				log.Fatal(err)
+				fatal("register user", err)
 			}
 		}
 		if *track {
-			log.Printf("preloading commute traces for %d personas...", len(w.Personas))
+			slog.Info("preloading commute traces", "personas", len(w.Personas))
 			for _, p := range w.Personas {
 				for d := 0; d < w.Params.Days; d++ {
 					day := w.Params.StartDate.AddDate(0, 0, d)
@@ -149,17 +249,17 @@ func main() {
 					for _, morning := range []bool{true, false} {
 						trace, _, err := w.CommuteTrace(p, day, morning)
 						if err != nil {
-							log.Fatal(err)
+							fatal("commute trace", err)
 						}
 						for _, fix := range trace {
 							if err := sys.RecordFix(p.Profile.UserID, fix); err != nil {
-								log.Fatal(err)
+								fatal("record fix", err)
 							}
 						}
 					}
 				}
 				if _, err := sys.CompactTracking(p.Profile.UserID); err != nil {
-					log.Printf("compact %s: %v", p.Profile.UserID, err)
+					slog.Warn("compact failed", "user", p.Profile.UserID, "err", err)
 				}
 			}
 		}
@@ -167,9 +267,9 @@ func main() {
 			// Fold the preload into checkpoint zero so the next boot
 			// restores it instead of replaying the whole WAL.
 			if err := dur.Checkpoint(); err != nil {
-				log.Fatal(err)
+				fatal("initial checkpoint", err)
 			}
-			log.Printf("initial checkpoint written to %s", *dataDir)
+			slog.Info("initial checkpoint written", "dir", *dataDir)
 		}
 	}
 
@@ -177,7 +277,7 @@ func main() {
 	// background worker, as in the paper's deployment.
 	compactor, err := service.NewCompactor(sys)
 	if err != nil {
-		log.Fatal(err)
+		fatal("compactor", err)
 	}
 	stop := make(chan struct{})
 	go compactor.Run(stop)
@@ -195,7 +295,7 @@ func main() {
 	if *fbEvery > 0 {
 		fbc, err := service.NewFeedbackCompactor(sys)
 		if err != nil {
-			log.Fatal(err)
+			fatal("feedback compactor", err)
 		}
 		fbc.EventsPerCompaction = *fbEvery
 		fbc.Horizon = *fbHorizon
@@ -209,16 +309,12 @@ func main() {
 	if dur != nil {
 		checkpointer, err = service.NewCheckpointer(dur)
 		if err != nil {
-			log.Fatal(err)
+			fatal("checkpointer", err)
 		}
 		checkpointer.Interval = *ckInterval
 		go checkpointer.Run(stop)
 	}
 
-	api := httpapi.NewServer(sys)
-	if dur != nil {
-		api.SetDurabilityStats(func() interface{} { return dur.Stats() })
-	}
 	var warmer *service.Warmer
 	if *warmWorkers > 0 {
 		warmer, err = service.NewWarmer(sys, precompute.Config{
@@ -227,57 +323,75 @@ func main() {
 			Now:       worldClock,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal("warmer", err)
 		}
-		log.Printf("prewarming plans for %d users (%d workers, ttl %v, %d shards)...",
-			len(sys.MobilityUsers()), *warmWorkers, *planTTL, *cacheShards)
+		slog.Info("prewarming plans",
+			"users", len(sys.MobilityUsers()), "workers", *warmWorkers,
+			"ttl", *planTTL, "shards", *cacheShards)
 		start := time.Now()
 		warmed := warmer.Prewarm(sys, worldEnd)
-		log.Printf("prewarmed %d plans in %v (cache: %d entries)",
-			warmed, time.Since(start).Round(time.Millisecond), sys.PlanCache.Len())
+		slog.Info("prewarmed", "plans", warmed,
+			"dur", time.Since(start).Round(time.Millisecond), "cache_entries", sys.PlanCache.Len())
 		go warmer.Run(stop)
 		api.SetWarmerStats(func() interface{} { return warmer.Stats() })
 	}
 
+	// State is loaded (recovered or preloaded) and the cache is warm:
+	// open the readiness gate before the listener starts.
+	api.SetReady(true)
+
 	mux := http.NewServeMux()
 	mux.Handle("/api/", api.Handler())
 	mux.Handle("/healthz", api.Handler())
+	mux.Handle("/readyz", api.Handler())
+	mux.Handle("/metrics", api.Handler())
+	mux.Handle("/debug/traces", api.Handler())
 	mux.Handle("/stats", api.Handler())
 	mux.Handle("/dashboard/", dashboard.NewServer(sys).Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		slog.Info("pprof mounted", "path", "/debug/pprof/")
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "PPHCR content server — see /api/services, /api/recommendations, /api/plan, /stats, /dashboard/trajectory")
+		fmt.Fprintln(w, "PPHCR content server — see /api/services, /api/recommendations, /api/plan, /stats, /metrics, /dashboard/trajectory")
 	})
 	worldNow := worldEnd.Unix()
-	log.Printf("PPHCR server listening on %s (users: %v...)", *addr, firstN(sys.Profiles.UserIDs(), 3))
-	log.Printf("the synthetic world lives around unix %d — pass it to time-scoped endpoints, e.g.", worldNow)
-	log.Printf("  curl 'localhost%s/api/recommendations?user=%s&k=5&unix=%d'", *addr, firstN(sys.Profiles.UserIDs(), 1)[0], worldNow)
+	slog.Info("PPHCR server listening", "addr", *addr, "users", firstN(sys.Profiles.UserIDs(), 3))
+	slog.Info("the synthetic world lives in the past — pass its clock to time-scoped endpoints",
+		"world_unix", worldNow,
+		"example", fmt.Sprintf("curl 'localhost%s/api/recommendations?user=%s&k=5&unix=%d'",
+			*addr, firstN(sys.Profiles.UserIDs(), 1)[0], worldNow))
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests and stop
 	// the background workers.
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancel()
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	srv := &http.Server{Addr: *addr, Handler: accessLog(logger, mux)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
 	case err := <-errc:
 		close(stop)
 		finalCheckpoint(dur)
-		log.Fatal(err)
+		fatal("serve", err)
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down...")
+	slog.Info("shutting down")
 	close(stop)
 	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelShutdown()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("shutdown: %v", err)
+		slog.Warn("shutdown", "err", err)
 	}
 	// The final checkpoint runs after the listener drained, so every
 	// acknowledged mutation is in the snapshot and the next boot
 	// replays nothing.
 	finalCheckpoint(dur)
-	log.Printf("bye")
+	slog.Info("bye")
 }
 
 // finalCheckpoint flushes the WAL and writes the shutdown snapshot.
@@ -287,10 +401,10 @@ func finalCheckpoint(dur *pphcr.Durability) {
 	}
 	start := time.Now()
 	if err := dur.Close(); err != nil {
-		log.Printf("final checkpoint: %v", err)
+		slog.Error("final checkpoint", "err", err)
 		return
 	}
-	log.Printf("final checkpoint written in %v", time.Since(start).Round(time.Millisecond))
+	slog.Info("final checkpoint written", "dur", time.Since(start).Round(time.Millisecond))
 }
 
 func firstN(xs []string, n int) []string {

@@ -11,6 +11,7 @@ import (
 	"pphcr/internal/content"
 	"pphcr/internal/durable"
 	"pphcr/internal/feedback"
+	"pphcr/internal/obs"
 	"pphcr/internal/profile"
 	"pphcr/internal/trajectory"
 )
@@ -165,6 +166,9 @@ type Durability struct {
 	// reported on /stats.
 	lastBarrierNs  atomic.Int64
 	totalBarrierNs atomic.Int64
+	// pauseHist is the distribution of those pauses — the p99 of the
+	// stall a checkpoint can inject into every write path.
+	pauseHist obs.Histogram
 }
 
 // OpenDurability recovers state from o.Dir into sys — which must be
@@ -243,6 +247,23 @@ func OpenDurability(sys *System, o DurabilityOptions) (*Durability, error) {
 // WAL events) — the server uses it to skip its synthetic preload.
 func (d *Durability) Recovered() bool { return d.recovered }
 
+// Healthy reports whether the durability layer can still accept writes:
+// nil while the WAL is live, the sticky wedge/terminal error once a
+// write or commit failure killed the log. The readiness probe uses it
+// to turn a broken node 503 so a load balancer ejects it.
+func (d *Durability) Healthy() error { return d.wal.Err() }
+
+// PauseHistogram is the checkpoint write-path pause distribution, for
+// metrics-endpoint registration.
+func (d *Durability) PauseHistogram() *obs.Histogram { return &d.pauseHist }
+
+// WALAppendHistogram / WALFsyncHistogram expose the log's latency
+// distributions for metrics-endpoint registration.
+func (d *Durability) WALAppendHistogram() *obs.Histogram { return d.wal.AppendHistogram() }
+
+// WALFsyncHistogram is the WAL flush+fsync latency distribution.
+func (d *Durability) WALFsyncHistogram() *obs.Histogram { return d.wal.FsyncHistogram() }
+
 // ReplayedEvents returns the number of WAL records applied at open.
 func (d *Durability) ReplayedEvents() int { return d.replayed }
 
@@ -277,6 +298,7 @@ func (d *Durability) checkpointLocked() error {
 	paused := time.Since(barrierStart).Nanoseconds()
 	d.lastBarrierNs.Store(paused)
 	d.totalBarrierNs.Add(paused)
+	d.pauseHist.ObserveNs(paused)
 	if err == nil {
 		err = durable.WriteCheckpoint(d.dir, seq, buf.Bytes())
 	}
@@ -348,9 +370,10 @@ type DurabilityStats struct {
 	LastCheckpointAgeSec float64 `json:"last_checkpoint_age_sec"`
 	// LastBarrierMicros / TotalBarrierMicros are the write-path pauses
 	// the checkpoint quiesces imposed (snapshot + WAL rotation inside
-	// the striped commit barrier).
-	LastBarrierMicros  float64 `json:"last_barrier_micros"`
-	TotalBarrierMicros float64 `json:"total_barrier_micros"`
+	// the striped commit barrier); Pause is their distribution.
+	LastBarrierMicros  float64     `json:"last_barrier_micros"`
+	TotalBarrierMicros float64     `json:"total_barrier_micros"`
+	Pause              obs.Summary `json:"pause"`
 }
 
 // Stats snapshots the durability counters.
@@ -364,6 +387,7 @@ func (d *Durability) Stats() DurabilityStats {
 		EmitErrors:         d.sys.emitErrs.Load(),
 		LastBarrierMicros:  float64(d.lastBarrierNs.Load()) / 1e3,
 		TotalBarrierMicros: float64(d.totalBarrierNs.Load()) / 1e3,
+		Pause:              d.pauseHist.Summary(),
 	}
 	if ns := d.lastCheckpoint.Load(); ns > 0 {
 		st.LastCheckpointUnix = ns / 1e9

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pphcr/internal/obs"
 )
 
 // SyncPolicy selects when the WAL calls fsync.
@@ -252,6 +254,11 @@ type WALStats struct {
 	Staged int64 `json:"staged"`
 	// Stripes is the staging-stripe count.
 	Stripes int `json:"stripes"`
+	// Append is the AppendTo latency distribution (including the
+	// group-commit ticket wait under SyncAlways); Fsync is the
+	// flush+fsync pass distribution.
+	Append obs.Summary `json:"append"`
+	Fsync  obs.Summary `json:"fsync"`
 }
 
 // stagedRec is one encoded record parked in a stripe's staging buffer,
@@ -350,6 +357,12 @@ type WAL struct {
 	groupCommits  atomic.Int64
 	commitRecords atomic.Int64
 	maxBatch      atomic.Int64
+
+	// appendHist is the end-to-end AppendTo latency (under SyncAlways it
+	// includes the group-commit ticket wait — the durability price a
+	// producer actually pays); fsyncHist times each flush+fsync pass.
+	appendHist obs.Histogram
+	fsyncHist  obs.Histogram
 
 	scratch sync.Pool // *[]byte record-encoding buffers
 
@@ -531,6 +544,7 @@ func (w *WAL) AppendTo(stripe uint32, e Event) error {
 		w.commitMu.Unlock()
 		return fmt.Errorf("durable: wal commit failed, log terminal: %w", err)
 	}
+	start := time.Now()
 	// Sequence first, then encode: the CRC covers the stamped sequence
 	// number, and a gap left by a crash between here and staging is a
 	// tail gap replay already tolerates (the record's mutation never
@@ -571,6 +585,7 @@ func (w *WAL) AppendTo(stripe uint32, e Event) error {
 	w.wakeWriter()
 
 	if w.opts.Sync != SyncAlways {
+		w.appendHist.Observe(time.Since(start))
 		// Surface a sticky background-fsync failure on this (unrelated)
 		// append — the record itself is staged and will be retried.
 		w.deferredMu.Lock()
@@ -602,6 +617,7 @@ func (w *WAL) AppendTo(stripe uint32, e Event) error {
 		}
 	}
 	w.commitMu.Unlock()
+	w.appendHist.Observe(time.Since(start))
 	return err
 }
 
@@ -782,12 +798,14 @@ func (w *WAL) publishErrorLocked(err error) {
 
 // syncLocked flushes and fsyncs the active segment. Callers hold ioMu.
 func (w *WAL) syncLocked() error {
+	start := time.Now()
 	if err := w.bw.Flush(); err != nil {
 		return fmt.Errorf("durable: flushing: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("durable: fsync: %w", err)
 	}
+	w.fsyncHist.Observe(time.Since(start))
 	w.dirty = false
 	w.synced.Add(1)
 	return nil
@@ -949,7 +967,44 @@ func (w *WAL) Stats() WALStats {
 	if s.GroupCommits > 0 {
 		s.MeanCommitBatch = float64(s.GroupCommitRecords) / float64(s.GroupCommits)
 	}
+	s.Append = w.appendHist.Summary()
+	s.Fsync = w.fsyncHist.Summary()
 	return s
+}
+
+// AppendHistogram is the AppendTo latency distribution, for
+// metrics-endpoint registration.
+func (w *WAL) AppendHistogram() *obs.Histogram { return &w.appendHist }
+
+// FsyncHistogram is the flush+fsync latency distribution, for
+// metrics-endpoint registration.
+func (w *WAL) FsyncHistogram() *obs.Histogram { return &w.fsyncHist }
+
+// Err reports the log's sticky failure state: the wedge error after a
+// segment-write failure under interval/none, or the terminal error
+// after a failed commit cycle under SyncAlways. A readiness probe uses
+// it to eject a node whose log can no longer accept writes. Returns nil
+// while the log is healthy (or merely closed).
+func (w *WAL) Err() error {
+	if w.terminalFlag.Load() {
+		w.commitMu.Lock()
+		err := w.lastErr
+		w.commitMu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("durable: wal terminal")
+		}
+		return err
+	}
+	if w.wedged.Load() {
+		w.deferredMu.Lock()
+		err := w.wedgeErr
+		w.deferredMu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("durable: wal wedged")
+		}
+		return err
+	}
+	return nil
 }
 
 // closeStripes marks every stripe closed (failing subsequent appends)

@@ -10,11 +10,13 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"pphcr"
 	"pphcr/internal/feedback"
 	"pphcr/internal/geo"
+	"pphcr/internal/obs"
 	"pphcr/internal/profile"
 	"pphcr/internal/recommend"
 	"pphcr/internal/trajectory"
@@ -26,34 +28,56 @@ type Server struct {
 	sys *pphcr.System
 	mux *http.ServeMux
 
-	// warm/cold latency aggregates of the /api/plan fast and slow paths,
-	// reported by /stats.
-	warmLat latencyAgg
-	coldLat latencyAgg
+	// warm/cold latency histograms of the /api/plan fast and slow paths,
+	// reported by /stats (quantiles) and /metrics (buckets).
+	warmLat obs.Histogram
+	coldLat obs.Histogram
 	// warmerStats, when set, contributes the precompute scheduler's
 	// counters to /stats; durabilityStats likewise for the WAL and
 	// checkpoint counters.
 	warmerStats     func() interface{}
 	durabilityStats func() interface{}
+
+	// registry backs /metrics; endpoints hold the per-endpoint latency
+	// histograms and status counters in registration order.
+	registry       *obs.Registry
+	endpoints      []*endpointMetrics
+	endpointByName map[string]*endpointMetrics
+
+	// traceRing, when enabled, keeps the slowest requests' span
+	// recordings for /debug/traces. notReady gates /readyz until the
+	// process finishes booting; readyCheck adds a dependency probe.
+	traceRing  *obs.TraceRing
+	notReady   atomic.Bool
+	readyCheck func() error
 }
 
 // NewServer wraps a System.
 func NewServer(sys *pphcr.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/api/stats", s.handleStats)
-	s.mux.HandleFunc("/api/users", s.handleUsers)
-	s.mux.HandleFunc("/api/users/", s.handleUserByID)
-	s.mux.HandleFunc("/api/track", s.handleTrack)
-	s.mux.HandleFunc("/api/feedback", s.handleFeedback)
-	s.mux.HandleFunc("/api/compact", s.handleCompact)
-	s.mux.HandleFunc("/api/recommendations", s.handleRecommendations)
-	s.mux.HandleFunc("/api/plan", s.handlePlan)
-	s.mux.HandleFunc("/api/plan/batch", s.handlePlanBatch)
-	s.mux.HandleFunc("/api/services", s.handleServices)
-	s.mux.HandleFunc("/api/schedule", s.handleSchedule)
-	s.mux.HandleFunc("/api/items/", s.handleItemByID)
+	s := &Server{
+		sys:            sys,
+		mux:            http.NewServeMux(),
+		registry:       obs.NewRegistry(),
+		endpointByName: make(map[string]*endpointMetrics),
+	}
+	s.route("/healthz", "healthz", s.handleHealth)
+	s.route("/readyz", "readyz", s.handleReady)
+	s.route("/metrics", "metrics", s.handleMetrics)
+	s.route("/debug/traces", "debug_traces", s.handleTraces)
+	s.route("/stats", "stats", s.handleStats)
+	s.route("/api/stats", "stats", s.handleStats)
+	s.route("/api/users", "users", s.handleUsers)
+	s.route("/api/users/", "user_by_id", s.handleUserByID)
+	s.route("/api/track", "track", s.handleTrack)
+	s.route("/api/feedback", "feedback", s.handleFeedback)
+	s.route("/api/compact", "compact", s.handleCompact)
+	s.route("/api/recommendations", "recommendations", s.handleRecommendations)
+	s.route("/api/plan", "plan", s.handlePlan)
+	s.route("/api/plan/batch", "plan_batch", s.handlePlanBatch)
+	s.route("/api/services", "services", s.handleServices)
+	s.route("/api/schedule", "schedule", s.handleSchedule)
+	s.route("/api/items/", "item_by_id", s.handleItemByID)
+	s.registerSystemMetrics()
 	return s
 }
 
@@ -157,7 +181,11 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 		Point: geo.Point{Lat: body.Lat, Lon: body.Lon},
 		Time:  time.Unix(body.Unix, 0).UTC(),
 	}
-	if err := s.sys.RecordFix(body.UserID, fix); err != nil {
+	obs.NoteRequestUser(r.Context(), body.UserID)
+	tr := s.startTrace("track", body.UserID)
+	err := s.sys.RecordFixTraced(body.UserID, fix, tr)
+	s.traceRing.Offer(tr)
+	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -215,7 +243,11 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		At:         time.Unix(body.Unix, 0).UTC(),
 		Categories: cats,
 	}
-	if err := s.sys.AddFeedback(e); err != nil {
+	obs.NoteRequestUser(r.Context(), body.UserID)
+	tr := s.startTrace("feedback", body.UserID)
+	err = s.sys.AddFeedbackTraced(e, tr)
+	s.traceRing.Offer(tr)
+	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -290,6 +322,7 @@ func (s *Server) handleRecommendations(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx.Position = geo.Point{Lat: la, Lon: lo}
 	}
+	obs.NoteRequestUser(r.Context(), user)
 	ranked := s.sys.Recommend(user, ctx, k)
 	out := make([]RecommendationView, len(ranked))
 	for i, sc := range ranked {

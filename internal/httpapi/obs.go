@@ -1,0 +1,220 @@
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"pphcr/internal/obs"
+	"pphcr/internal/pipeline"
+)
+
+// errNotRecovered is the /readyz reason while the boot gate is closed.
+var errNotRecovered = errors.New("recovery not finished")
+
+// endpointMetrics is one logical endpoint's latency histogram and
+// status-class counters. Endpoints are keyed by name, not pattern, so
+// aliases (/stats and /api/stats) share one series.
+type endpointMetrics struct {
+	name     string
+	hist     obs.Histogram
+	statuses [5]atomic.Int64 // index = status/100 - 1
+}
+
+var statusClasses = [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// statusRecorder captures the status code and body size a handler
+// produced, defaulting to 200 for handlers that never call WriteHeader.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// route mounts a handler with per-endpoint instrumentation: every
+// request is timed into the endpoint's histogram and counted by status
+// class. Multiple patterns may share an endpoint name.
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	em := s.endpointByName[name]
+	if em == nil {
+		em = &endpointMetrics{name: name}
+		s.endpointByName[name] = em
+		s.endpoints = append(s.endpoints, em)
+		s.registry.RegisterHistogram("pphcr_http_request_duration_seconds",
+			"HTTP request latency by endpoint.",
+			map[string]string{"endpoint": name}, &em.hist)
+		for i, class := range statusClasses {
+			ctr := &em.statuses[i]
+			s.registry.RegisterCounter("pphcr_http_requests_total",
+				"HTTP requests by endpoint and status class.",
+				map[string]string{"endpoint": name, "code": class},
+				func() float64 { return float64(ctr.Load()) })
+		}
+	}
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(&rec, r)
+		em.hist.Observe(time.Since(start))
+		if c := rec.status / 100; c >= 1 && c <= 5 {
+			em.statuses[c-1].Add(1)
+		}
+	})
+}
+
+// registerSystemMetrics exports the system-level families that live
+// behind the Server: pipeline stages, plan serve paths, commit barrier,
+// plan cache, feedback store and user-shard locks. WAL and checkpoint
+// families belong to the Durability owner, which registers them through
+// Registry().
+func (s *Server) registerSystemMetrics() {
+	pipe := s.sys.Pipeline()
+	for i := 0; i < pipeline.NumStages; i++ {
+		s.registry.RegisterHistogram("pphcr_pipeline_stage_duration_seconds",
+			"Planning pipeline stage latency.",
+			map[string]string{"stage": pipeline.StageNames[i]}, pipe.StageHistogram(i))
+	}
+	s.registry.RegisterHistogram("pphcr_plan_serve_duration_seconds",
+		"Plan endpoint serve latency by source.",
+		map[string]string{"source": "warm"}, &s.warmLat)
+	s.registry.RegisterHistogram("pphcr_plan_serve_duration_seconds", "",
+		map[string]string{"source": "cold"}, &s.coldLat)
+	s.registry.RegisterHistogram("pphcr_barrier_acquire_wait_seconds",
+		"Commit-barrier stripe acquire wait (contended acquisitions only).",
+		nil, s.sys.BarrierAcquireHistogram())
+	s.registry.RegisterHistogram("pphcr_barrier_quiesce_seconds",
+		"Commit-barrier quiesce entry time (writer drain before checkpoint).",
+		nil, s.sys.BarrierQuiesceHistogram())
+
+	cache := s.sys.PlanCache
+	s.registry.RegisterCounter("pphcr_plancache_hits_total", "Plan cache hits.",
+		nil, func() float64 { return float64(cache.Stats().Hits) })
+	s.registry.RegisterCounter("pphcr_plancache_misses_total", "Plan cache misses.",
+		nil, func() float64 { return float64(cache.Stats().Misses) })
+	s.registry.RegisterCounter("pphcr_plancache_stale_total", "Plan cache stale lookups.",
+		nil, func() float64 { return float64(cache.Stats().Stale) })
+	s.registry.RegisterCounter("pphcr_plancache_invalidations_total", "Plan cache invalidations.",
+		nil, func() float64 { return float64(cache.Stats().Invalidations) })
+	s.registry.RegisterGauge("pphcr_plancache_entries", "Live plan cache entries.",
+		nil, func() float64 { return float64(cache.Stats().Entries) })
+
+	fb := s.sys.Feedback
+	s.registry.RegisterCounter("pphcr_feedback_appends_total", "Feedback events appended.",
+		nil, func() float64 { return float64(fb.Stats().Appends) })
+	s.registry.RegisterCounter("pphcr_feedback_compactions_total", "Feedback compaction runs.",
+		nil, func() float64 { return float64(fb.Stats().Compactions) })
+
+	sys := s.sys
+	s.registry.RegisterCounter("pphcr_usershard_lock_ops_total", "User-shard lock acquisitions.",
+		nil, func() float64 { return float64(sys.LockStats().Ops) })
+	s.registry.RegisterCounter("pphcr_usershard_lock_contended_total", "User-shard lock acquisitions that found the shard held.",
+		nil, func() float64 { return float64(sys.LockStats().Contended) })
+	s.registry.RegisterCounter("pphcr_barrier_ops_total", "Commit-barrier stripe acquisitions.",
+		nil, func() float64 { return float64(sys.LockStats().Barrier.Ops) })
+	s.registry.RegisterCounter("pphcr_barrier_contended_total", "Commit-barrier stripe acquisitions that waited.",
+		nil, func() float64 { return float64(sys.LockStats().Barrier.Contended) })
+	s.registry.RegisterCounter("pphcr_barrier_quiesces_total", "Commit-barrier full quiesces.",
+		nil, func() float64 { return float64(sys.LockStats().Barrier.Quiesces) })
+	s.registry.RegisterGauge("pphcr_ready", "1 when the node is ready to serve, else 0.",
+		nil, func() float64 {
+			if s.readinessErr() == nil {
+				return 1
+			}
+			return 0
+		})
+}
+
+// Registry returns the server's metric registry, so the process owner
+// can register additional families (the WAL and checkpoint histograms
+// live behind Durability, which httpapi never sees directly).
+func (s *Server) Registry() *obs.Registry { return s.registry }
+
+// EnableTracing switches on per-request span recording: requests slower
+// than threshold are kept (newest first, up to capacity) and served as
+// JSON from /debug/traces.
+func (s *Server) EnableTracing(capacity int, threshold time.Duration) {
+	s.traceRing = obs.NewTraceRing(capacity, threshold)
+}
+
+// startTrace begins a span recorder for one request when tracing is on
+// (nil otherwise — every recording call no-ops on nil).
+func (s *Server) startTrace(op, user string) *obs.Trace {
+	if s.traceRing == nil {
+		return nil
+	}
+	return obs.NewTrace(op, user)
+}
+
+// SetReady flips the boot gate of the readiness probe: the server
+// process marks itself unready while loading state (recovery, preload,
+// warmup) and ready once it can serve plans.
+func (s *Server) SetReady(v bool) { s.notReady.Store(!v) }
+
+// SetReadinessCheck attaches a liveness-of-dependencies probe (the
+// server passes the durability layer's Healthy): a non-nil error turns
+// /readyz into a 503 so a load balancer ejects the node.
+func (s *Server) SetReadinessCheck(fn func() error) { s.readyCheck = fn }
+
+// readinessErr reports why the node is not ready, nil when it is.
+func (s *Server) readinessErr() error {
+	if s.notReady.Load() {
+		return errNotRecovered
+	}
+	if s.readyCheck != nil {
+		return s.readyCheck()
+	}
+	return nil
+}
+
+// readyView is the /readyz body.
+type readyView struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if err := s.readinessErr(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, readyView{Ready: false, Reason: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, readyView{Ready: true})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.registry.WritePrometheus(w); err != nil {
+		// Headers already sent; the scrape will see a truncated body.
+		_ = err
+	}
+}
+
+// tracesView is the /debug/traces body.
+type tracesView struct {
+	Enabled         bool            `json:"enabled"`
+	ThresholdMicros float64         `json:"threshold_micros,omitempty"`
+	Traces          []obs.TraceView `json:"traces"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.traceRing == nil {
+		writeJSON(w, http.StatusOK, tracesView{Enabled: false, Traces: []obs.TraceView{}})
+		return
+	}
+	writeJSON(w, http.StatusOK, tracesView{
+		Enabled:         true,
+		ThresholdMicros: float64(s.traceRing.Threshold().Microseconds()),
+		Traces:          s.traceRing.Snapshot(),
+	})
+}

@@ -9,6 +9,7 @@ import (
 
 	"pphcr"
 	"pphcr/internal/geo"
+	"pphcr/internal/obs"
 	"pphcr/internal/trajectory"
 )
 
@@ -110,9 +111,12 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	obs.NoteRequestUser(r.Context(), req.UserID)
+	tr := s.startTrace("plan", req.UserID)
 	started := time.Now()
-	tp, err := s.sys.PlanTrip(req.UserID, req.Partial, req.Now, nil)
+	tp, err := s.sys.PlanTripTraced(req.UserID, req.Partial, req.Now, nil, tr)
 	elapsed := time.Since(started)
+	s.traceRing.Offer(tr)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -122,9 +126,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// microseconds and would make the cold pipeline look free.
 	switch {
 	case tp.Source == pphcr.PlanSourceWarm:
-		s.warmLat.observe(elapsed)
+		s.warmLat.Observe(elapsed)
 	case tp.Source == pphcr.PlanSourceCold && tp.Proactive:
-		s.coldLat.observe(elapsed)
+		s.coldLat.Observe(elapsed)
 	}
 	writeJSON(w, http.StatusOK, planView(tp))
 }

@@ -3,64 +3,62 @@ package httpapi
 import (
 	"errors"
 	"net/http"
-	"sync"
-	"time"
 
 	"pphcr"
 	"pphcr/internal/feedback"
+	"pphcr/internal/obs"
 	"pphcr/internal/pipeline"
 	"pphcr/internal/plancache"
 )
 
-// latencyAgg accumulates request latencies for one plan-serving path.
-type latencyAgg struct {
-	mu    sync.Mutex
-	count int64
-	total time.Duration
-	max   time.Duration
-}
-
-func (l *latencyAgg) observe(d time.Duration) {
-	l.mu.Lock()
-	l.count++
-	l.total += d
-	if d > l.max {
-		l.max = d
-	}
-	l.mu.Unlock()
-}
-
-// LatencyView is the JSON shape of one latency aggregate.
+// LatencyView is the JSON shape of one latency distribution. Quantiles
+// are histogram estimates (one 1.25× bucket of exact); the max is
+// tracked exactly.
 type LatencyView struct {
 	Count     int64   `json:"count"`
 	AvgMicros float64 `json:"avg_micros"`
 	MaxMicros float64 `json:"max_micros"`
+	P50Micros float64 `json:"p50_micros"`
+	P95Micros float64 `json:"p95_micros"`
+	P99Micros float64 `json:"p99_micros"`
 }
 
-func (l *latencyAgg) view() LatencyView {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	v := LatencyView{Count: l.count, MaxMicros: float64(l.max.Microseconds())}
-	if l.count > 0 {
-		v.AvgMicros = float64(l.total.Microseconds()) / float64(l.count)
+func latencyView(s obs.Summary) LatencyView {
+	return LatencyView{
+		Count:     s.Count,
+		AvgMicros: s.MeanMicros,
+		MaxMicros: s.MaxMicros,
+		P50Micros: s.P50Micros,
+		P95Micros: s.P95Micros,
+		P99Micros: s.P99Micros,
 	}
-	return v
+}
+
+// EndpointStats is one HTTP endpoint's latency distribution and status
+// counts.
+type EndpointStats struct {
+	LatencyView
+	Codes map[string]int64 `json:"codes,omitempty"`
 }
 
 // StatsView is the /stats response: plan-cache counters (with hit rate),
-// warm-vs-cold plan latency, the feedback store's preference-index
-// counters (index vs replay reads, compaction progress), the user-shard
-// lock-contention counters (including the commit barrier's per-stripe
-// contention and quiesce counts under locks.barrier), and — when a
-// warmer is attached — the precompute scheduler's counters. With a data
-// directory the durability block adds the WAL's group-commit batch
-// sizes and the checkpoint barrier-pause timings.
+// warm-vs-cold plan latency, per-endpoint HTTP latency quantiles, the
+// staged pipeline's per-stage distributions, the feedback store's
+// preference-index counters, the user-shard lock-contention counters
+// (including the commit barrier's contention, quiesce counts and wait
+// distributions under locks.barrier), and — when a warmer is attached —
+// the precompute scheduler's counters. With a data directory the
+// durability block adds the WAL's append/fsync distributions and the
+// checkpoint pause timings.
 type StatsView struct {
 	Cache plancache.Stats `json:"cache"`
 	Plan  struct {
 		Warm LatencyView `json:"warm"`
 		Cold LatencyView `json:"cold"`
 	} `json:"plan"`
+	// HTTP reports every endpoint's request latency distribution and
+	// status-class counts.
+	HTTP map[string]EndpointStats `json:"http"`
 	// Pipeline reports the staged planning pipeline's per-stage
 	// latency/count aggregates (predict, gate, candidates, rank,
 	// allocate) plus its batch amortization counters.
@@ -89,8 +87,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	var view StatsView
 	view.Cache = s.sys.PlanCache.Stats()
-	view.Plan.Warm = s.warmLat.view()
-	view.Plan.Cold = s.coldLat.view()
+	view.Plan.Warm = latencyView(s.warmLat.Summary())
+	view.Plan.Cold = latencyView(s.coldLat.Summary())
+	view.HTTP = make(map[string]EndpointStats, len(s.endpoints))
+	for _, em := range s.endpoints {
+		es := EndpointStats{LatencyView: latencyView(em.hist.Summary())}
+		for i := range em.statuses {
+			if n := em.statuses[i].Load(); n > 0 {
+				if es.Codes == nil {
+					es.Codes = make(map[string]int64, 2)
+				}
+				es.Codes[statusClasses[i]] = n
+			}
+		}
+		view.HTTP[em.name] = es
+	}
 	view.Pipeline = s.sys.PipelineStats()
 	view.Feedback = s.sys.Feedback.Stats()
 	view.Locks = s.sys.LockStats()

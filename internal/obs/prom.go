@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry collects named metric families and renders them in the
+// Prometheus text exposition format, with no dependency beyond the
+// standard library. Histogram families are rendered as cumulative
+// `_bucket` series (le in seconds, per convention) plus `_sum` and
+// `_count`; counters and gauges read their value through a closure at
+// scrape time, so existing atomic counters anywhere in the system can
+// be exported without restructuring.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type series struct {
+	labels string // pre-rendered `{k="v",...}` or ""
+	value  func() float64
+	hist   *Histogram
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// renderLabels renders a label map deterministically (sorted by key).
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func (r *Registry) getFamily(name, help string, kind metricKind) *family {
+	if f, ok := r.byName[name]; ok {
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// RegisterHistogram attaches a histogram series to the family `name`
+// (created on first use, in registration order). Multiple label sets
+// may share a family — e.g. one duration family with a `stage` label.
+func (r *Registry) RegisterHistogram(name, help string, labels map[string]string, h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindHistogram)
+	f.series = append(f.series, series{labels: renderLabels(labels), hist: h})
+}
+
+// RegisterCounter attaches a monotonically non-decreasing series read
+// through fn at scrape time.
+func (r *Registry) RegisterCounter(name, help string, labels map[string]string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindCounter)
+	f.series = append(f.series, series{labels: renderLabels(labels), value: fn})
+}
+
+// RegisterGauge attaches a free-moving series read through fn at scrape
+// time.
+func (r *Registry) RegisterGauge(name, help string, labels map[string]string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindGauge)
+	f.series = append(f.series, series{labels: renderLabels(labels), value: fn})
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// joinLabels merges a pre-rendered label block with one extra label
+// (used for `le` on bucket series).
+func joinLabels(base, extraKey, extraVal string) string {
+	if base == "" {
+		return "{" + extraKey + `="` + extraVal + `"}`
+	}
+	return base[:len(base)-1] + "," + extraKey + `="` + extraVal + `"}`
+}
+
+// WritePrometheus renders every registered family in the text
+// exposition format, families in registration order so scrapes diff
+// cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		switch f.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", f.name)
+		case kindGauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", f.name)
+		case kindHistogram:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", f.name)
+		}
+		for _, s := range f.series {
+			if f.kind != kindHistogram {
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.value()))
+				continue
+			}
+			snap := s.hist.Snapshot()
+			var cum int64
+			for i := 0; i < NumBuckets; i++ {
+				cum += snap.Buckets[i]
+				le := "+Inf"
+				if i < NumBuckets-1 {
+					le = formatFloat(float64(bucketUppers[i]) / 1e9)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, joinLabels(s.labels, "le", le), cum)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, s.labels, formatFloat(float64(snap.SumNs)/1e9))
+			fmt.Fprintf(&b, "%s_count%s %d\n", f.name, s.labels, snap.Count)
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -2,7 +2,8 @@ package pipeline
 
 import (
 	"sync/atomic"
-	"time"
+
+	"pphcr/internal/obs"
 )
 
 // Stage indices for the metric aggregates.
@@ -15,39 +16,17 @@ const (
 	numStages
 )
 
-// stageAgg accumulates one stage's latency observations without locks;
-// the request path only pays three atomic adds per observation.
-type stageAgg struct {
-	count   atomic.Int64
-	totalNs atomic.Int64
-	maxNs   atomic.Int64
-}
+// NumStages is the stage count, exported for metric registration loops.
+const NumStages = numStages
 
-func (a *stageAgg) observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	a.count.Add(1)
-	a.totalNs.Add(ns)
-	for {
-		cur := a.maxNs.Load()
-		if ns <= cur || a.maxNs.CompareAndSwap(cur, ns) {
-			return
-		}
-	}
-}
+// StageNames maps stage indices to the label values used on /stats and
+// /metrics.
+var StageNames = [NumStages]string{"predict", "gate", "candidates", "rank", "allocate"}
 
-func (a *stageAgg) view() StageStats {
-	s := StageStats{
-		Count:     a.count.Load(),
-		MaxMicros: float64(a.maxNs.Load()) / 1e3,
-	}
-	if s.Count > 0 {
-		s.AvgMicros = float64(a.totalNs.Load()) / float64(s.Count) / 1e3
-	}
-	return s
-}
-
+// metrics holds one lock-free histogram per stage; the request path
+// pays a bucket search plus three atomic adds per observation.
 type metrics struct {
-	agg     [numStages]stageAgg
+	hist    [numStages]obs.Histogram
 	batches atomic.Int64
 	tasks   atomic.Int64
 }
@@ -55,11 +34,27 @@ type metrics struct {
 // StageStats is one stage's latency aggregate. Predict, Gate, Rank and
 // Allocate count per-task executions; Candidates counts per-batch
 // gathers (its cost is shared by every task in the batch — that is the
-// point of batching).
+// point of batching). Quantiles are histogram estimates, within one
+// 1.25× bucket of exact.
 type StageStats struct {
 	Count     int64   `json:"count"`
 	AvgMicros float64 `json:"avg_micros"`
 	MaxMicros float64 `json:"max_micros"`
+	P50Micros float64 `json:"p50_micros"`
+	P95Micros float64 `json:"p95_micros"`
+	P99Micros float64 `json:"p99_micros"`
+}
+
+func stageView(h *obs.Histogram) StageStats {
+	s := h.Summary()
+	return StageStats{
+		Count:     s.Count,
+		AvgMicros: s.MeanMicros,
+		MaxMicros: s.MaxMicros,
+		P50Micros: s.P50Micros,
+		P95Micros: s.P95Micros,
+		P99Micros: s.P99Micros,
+	}
 }
 
 // Stats snapshots the per-stage pipeline metrics.
@@ -79,12 +74,16 @@ type Stats struct {
 // by the load generator).
 func (p *Pipeline) Stats() Stats {
 	return Stats{
-		Predict:    p.m.agg[StagePredict].view(),
-		Gate:       p.m.agg[StageGate].view(),
-		Candidates: p.m.agg[StageCandidates].view(),
-		Rank:       p.m.agg[StageRank].view(),
-		Allocate:   p.m.agg[StageAllocate].view(),
+		Predict:    stageView(&p.m.hist[StagePredict]),
+		Gate:       stageView(&p.m.hist[StageGate]),
+		Candidates: stageView(&p.m.hist[StageCandidates]),
+		Rank:       stageView(&p.m.hist[StageRank]),
+		Allocate:   stageView(&p.m.hist[StageAllocate]),
 		Batches:    p.m.batches.Load(),
 		Tasks:      p.m.tasks.Load(),
 	}
 }
+
+// StageHistogram returns the histogram backing stage i, so the owner
+// can register it on a metrics endpoint.
+func (p *Pipeline) StageHistogram(i int) *obs.Histogram { return &p.m.hist[i] }

@@ -28,6 +28,7 @@ import (
 	"pphcr/internal/content"
 	"pphcr/internal/core"
 	"pphcr/internal/distraction"
+	"pphcr/internal/obs"
 	"pphcr/internal/plancache"
 	"pphcr/internal/predict"
 	"pphcr/internal/recommend"
@@ -109,6 +110,10 @@ type Task struct {
 	CacheKey  plancache.Key
 	CacheVer  plancache.Version
 	Cacheable bool
+
+	// Trace, when non-nil, records per-stage spans for the slow-request
+	// ring. Untraced tasks pay one nil check per stage.
+	Trace *obs.Trace
 
 	done      bool
 	prefs     map[string]float64
@@ -250,7 +255,9 @@ func (p *Pipeline) RunBatch(tasks []*Task) {
 		}
 		start := time.Now()
 		p.Predict.Predict(b, t)
-		p.m.agg[StagePredict].observe(time.Since(start))
+		d := time.Since(start)
+		p.m.hist[StagePredict].Observe(d)
+		traceStage(t, "stage:predict", start, d)
 	}
 	for _, t := range tasks {
 		if t.Mode == ModeRank || t.skip() {
@@ -258,18 +265,35 @@ func (p *Pipeline) RunBatch(tasks []*Task) {
 		}
 		start := time.Now()
 		p.Gate.Gate(b, t)
-		p.m.agg[StageGate].observe(time.Since(start))
+		d := time.Since(start)
+		p.m.hist[StageGate].Observe(d)
+		traceStage(t, "stage:gate", start, d)
 	}
 	start := time.Now()
 	p.Candidates.Gather(b)
-	p.m.agg[StageCandidates].observe(time.Since(start))
+	batchDur := time.Since(start)
+	p.m.hist[StageCandidates].Observe(batchDur)
+	for _, t := range tasks {
+		// The gather ran once for the whole batch; each traced task is
+		// charged the shared duration (that amortization is the point).
+		traceStage(t, "stage:candidates", start, batchDur)
+		if t.Trace != nil && t.Mode == ModeLive {
+			if t.Source == SourceWarm {
+				t.Trace.Note("cache:hit")
+			} else if !t.skip() {
+				t.Trace.Note("cache:miss")
+			}
+		}
+	}
 	for _, t := range tasks {
 		if t.skip() {
 			continue
 		}
 		start := time.Now()
 		p.Rank.Rank(b, t)
-		p.m.agg[StageRank].observe(time.Since(start))
+		d := time.Since(start)
+		p.m.hist[StageRank].Observe(d)
+		traceStage(t, "stage:rank", start, d)
 	}
 	for _, t := range tasks {
 		if t.Mode == ModeRank || t.skip() {
@@ -277,7 +301,18 @@ func (p *Pipeline) RunBatch(tasks []*Task) {
 		}
 		start := time.Now()
 		p.Allocate.Allocate(b, t)
-		p.m.agg[StageAllocate].observe(time.Since(start))
+		d := time.Since(start)
+		p.m.hist[StageAllocate].Observe(d)
+		traceStage(t, "stage:allocate", start, d)
 	}
 	p.Candidates.Release(b)
+}
+
+// traceStage records one stage span on a traced task; untraced tasks
+// cost one nil check.
+func traceStage(t *Task, name string, start time.Time, d time.Duration) {
+	if t.Trace == nil {
+		return
+	}
+	t.Trace.AddSpan(name, int64(start.Sub(t.Trace.Start)), int64(d))
 }

@@ -2,7 +2,7 @@ package service
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"sync/atomic"
 	"time"
 
@@ -17,9 +17,9 @@ import (
 type Checkpointer struct {
 	// Interval between checkpoints. Default 1 minute.
 	Interval time.Duration
-	// Logf reports checkpoint failures (default log.Printf); checkpoints
-	// must keep being attempted after a transient disk error, not stop
-	// the worker.
+	// Logf reports checkpoint failures (default slog.Error via the
+	// process-wide logger); checkpoints must keep being attempted after
+	// a transient disk error, not stop the worker.
 	Logf func(format string, args ...interface{})
 
 	dur  *pphcr.Durability
@@ -32,7 +32,10 @@ func NewCheckpointer(dur *pphcr.Durability) (*Checkpointer, error) {
 	if dur == nil {
 		return nil, fmt.Errorf("service: checkpointer requires a durability layer")
 	}
-	return &Checkpointer{Interval: time.Minute, Logf: log.Printf, dur: dur}, nil
+	logf := func(format string, args ...interface{}) {
+		slog.Error(fmt.Sprintf(format, args...))
+	}
+	return &Checkpointer{Interval: time.Minute, Logf: logf, dur: dur}, nil
 }
 
 // Poll takes one checkpoint now.

@@ -38,6 +38,7 @@ import (
 	"pphcr/internal/distraction"
 	"pphcr/internal/durable"
 	"pphcr/internal/feedback"
+	"pphcr/internal/obs"
 	"pphcr/internal/pipeline"
 	"pphcr/internal/plancache"
 	"pphcr/internal/predict"
@@ -121,6 +122,14 @@ type BarrierStats struct {
 	Contended          int64   `json:"contended"`
 	Quiesces           int64   `json:"quiesces"`
 	PerStripeContended []int64 `json:"per_stripe_contended,omitempty"`
+	// AcquireWait is the latency distribution of contended stripe
+	// acquisitions only — the wait a writer ate because a quiesce (or a
+	// hot stripe) held it out. Uncontended acquisitions are not timed:
+	// the fast path stays two atomics and a TryRLock.
+	AcquireWait obs.Summary `json:"acquire_wait"`
+	// QuiesceAcquire is the distribution of quiesce entry times — how
+	// long the checkpointer waited for in-flight writers to drain.
+	QuiesceAcquire obs.Summary `json:"quiesce_acquire"`
 }
 
 // barrierStripe is one stripe of the commit barrier, padded to a cache
@@ -143,17 +152,33 @@ type barrierStripe struct {
 type commitBarrier struct {
 	stripes  []barrierStripe
 	quiesces atomic.Int64
+	// acquireHist records the wait of contended stripe acquisitions
+	// (TryRLock miss → blocking RLock). The uncontended fast path is
+	// deliberately not timed: it would cost two clock reads per write op
+	// to measure a wait that is zero by construction.
+	acquireHist obs.Histogram
+	// quiesceHist records how long quiesce() waited to write-lock every
+	// stripe — the writer-drain time a checkpoint pays before it can
+	// snapshot.
+	quiesceHist obs.Histogram
 }
 
 // rlock takes the read side of one stripe, counting acquisitions that
-// found it held by a quiesce.
-func (b *commitBarrier) rlock(i uint32) {
+// found it held by a quiesce. It returns the nanoseconds the caller
+// waited (0 on the uncontended fast path), so traced write paths can
+// attribute quiesce stalls to a barrier-wait span.
+func (b *commitBarrier) rlock(i uint32) int64 {
 	st := &b.stripes[i]
 	st.ops.Add(1)
-	if !st.mu.TryRLock() {
-		st.contended.Add(1)
-		st.mu.RLock()
+	if st.mu.TryRLock() {
+		return 0
 	}
+	st.contended.Add(1)
+	start := time.Now()
+	st.mu.RLock()
+	waited := time.Since(start).Nanoseconds()
+	b.acquireHist.ObserveNs(waited)
+	return waited
 }
 
 func (b *commitBarrier) runlock(i uint32) { b.stripes[i].mu.RUnlock() }
@@ -163,9 +188,11 @@ func (b *commitBarrier) runlock(i uint32) { b.stripes[i].mu.RUnlock() }
 // snapshots and mutation-hook swaps.
 func (b *commitBarrier) quiesce() {
 	b.quiesces.Add(1)
+	start := time.Now()
 	for i := range b.stripes {
 		b.stripes[i].mu.Lock()
 	}
+	b.quiesceHist.Observe(time.Since(start))
 }
 
 func (b *commitBarrier) release() {
@@ -188,6 +215,8 @@ func (b *commitBarrier) stats() BarrierStats {
 		s.Contended += c
 		s.PerStripeContended[i] = c
 	}
+	s.AcquireWait = b.acquireHist.Summary()
+	s.QuiesceAcquire = b.quiesceHist.Summary()
 	return s
 }
 
@@ -380,6 +409,20 @@ func (s *System) PipelineStats() pipeline.Stats {
 	return s.pipe.Stats()
 }
 
+// Pipeline returns the staged planning pipeline. Stage fields may be
+// replaced before first use to substitute custom operators (tests use
+// this to inject slow stages).
+func (s *System) Pipeline() *pipeline.Pipeline { return s.pipe }
+
+// BarrierAcquireHistogram is the contended-acquire wait distribution of
+// the commit barrier, for metrics-endpoint registration.
+func (s *System) BarrierAcquireHistogram() *obs.Histogram { return &s.barrier.acquireHist }
+
+// BarrierQuiesceHistogram is the quiesce-entry (writer drain) latency
+// distribution of the commit barrier, for metrics-endpoint
+// registration.
+func (s *System) BarrierQuiesceHistogram() *obs.Histogram { return &s.barrier.quiesceHist }
+
 // SetMutationHook installs the durability hook: from now on every
 // write-path entry point hands exactly one durable event describing its
 // completed mutation to fn — tagged with the writer's barrier stripe —
@@ -523,14 +566,30 @@ func (s *System) restoreItem(it *content.Item) error {
 // replay would reconstruct a state the live system never had (an
 // out-of-order fix pair would even fail recovery outright).
 func (s *System) RecordFix(userID string, fix trajectory.Fix) error {
+	return s.recordFix(userID, fix, nil)
+}
+
+// RecordFixTraced is RecordFix with a span recorder attached: the
+// barrier wait and the WAL append (which under SyncAlways includes the
+// group-commit ticket wait) become spans, so a slow fix in the trace
+// ring shows where its time went.
+func (s *System) RecordFixTraced(userID string, fix trajectory.Fix, tr *obs.Trace) error {
+	return s.recordFix(userID, fix, tr)
+}
+
+func (s *System) recordFix(userID string, fix trajectory.Fix, tr *obs.Trace) error {
 	idx := s.shardIndexFor(userID)
+	off := tr.StartSpan()
 	s.barrier.rlock(idx)
+	tr.EndSpan("barrier_wait", off)
 	defer s.barrier.runlock(idx)
 	sh := &s.shards[idx]
 	s.lockShard(sh)
 	err := s.Tracker.Record(userID, fix)
 	if err == nil {
+		off = tr.StartSpan()
 		err = s.emit(idx, durable.TypeFix, fixEvent{User: userID, Fix: fix})
+		tr.EndSpan("wal_append", off)
 	}
 	sh.mu.Unlock()
 	if err != nil {
@@ -544,15 +603,29 @@ func (s *System) RecordFix(userID string, fix trajectory.Fix) error {
 // user's shard lock so the WAL preserves per-user apply order (see
 // RecordFix).
 func (s *System) AddFeedback(e feedback.Event) error {
+	return s.addFeedback(e, nil)
+}
+
+// AddFeedbackTraced is AddFeedback with a span recorder attached (see
+// RecordFixTraced).
+func (s *System) AddFeedbackTraced(e feedback.Event, tr *obs.Trace) error {
+	return s.addFeedback(e, tr)
+}
+
+func (s *System) addFeedback(e feedback.Event, tr *obs.Trace) error {
 	idx := s.shardIndexFor(e.UserID)
+	off := tr.StartSpan()
 	s.barrier.rlock(idx)
+	tr.EndSpan("barrier_wait", off)
 	defer s.barrier.runlock(idx)
 	sh := &s.shards[idx]
 	s.lockShard(sh)
 	err := s.Feedback.Append(e)
 	applied := err == nil
 	if applied {
+		off = tr.StartSpan()
 		err = s.emit(idx, durableTypeForKind(e.Kind), e)
+		tr.EndSpan("wal_append", off)
 	}
 	sh.mu.Unlock()
 	if applied {
@@ -883,15 +956,34 @@ func (s *System) finishPlanTask(t *pipeline.Task) (*TripPlan, error) {
 // Candidates (which serves a warm cache entry when it fits) → Rank →
 // Allocate.
 func (s *System) PlanTrip(userID string, partial trajectory.Trace, now time.Time, tl *distraction.Timeline) (*TripPlan, error) {
+	return s.planTrip(userID, partial, now, tl, nil)
+}
+
+// PlanTripTraced is PlanTrip with a span recorder attached: each
+// pipeline stage, the warm-cache outcome and the finish step (cache
+// store + last-plan bookkeeping, which blocks on the user's shard lock
+// during a checkpoint snapshot) become spans in the trace.
+func (s *System) PlanTripTraced(userID string, partial trajectory.Trace, now time.Time, tl *distraction.Timeline, tr *obs.Trace) (*TripPlan, error) {
+	return s.planTrip(userID, partial, now, tl, tr)
+}
+
+func (s *System) planTrip(userID string, partial trajectory.Trace, now time.Time, tl *distraction.Timeline, tr *obs.Trace) (*TripPlan, error) {
 	t := &pipeline.Task{
 		Mode:     pipeline.ModeLive,
 		User:     userID,
 		Now:      now,
 		Partial:  partial,
 		Timeline: tl,
+		Trace:    tr,
 	}
 	s.pipe.Run(t)
-	return s.finishPlanTask(t)
+	off := tr.StartSpan()
+	tp, err := s.finishPlanTask(t)
+	tr.EndSpan("finish", off)
+	if tp != nil {
+		tr.SetSource(tp.Source)
+	}
+	return tp, err
 }
 
 // TripRequest is one PlanTripBatch member.
@@ -1016,36 +1108,49 @@ var ErrNoAlternative = errors.New("pphcr: no alternative content available")
 // replacement clip the listener has not already skipped. The app then
 // seamlessly replaces the live audio with the returned clip.
 func (s *System) SkipLive(userID, serviceID string, ctx recommend.Context) (recommend.Scored, error) {
+	return s.SkipLiveTraced(userID, serviceID, ctx, nil)
+}
+
+// SkipLiveTraced is SkipLive with a span recorder attached: the
+// feedback write (barrier wait + WAL append) and the replacement
+// ranking stages become spans.
+func (s *System) SkipLiveTraced(userID, serviceID string, ctx recommend.Context, tr *obs.Trace) (recommend.Scored, error) {
 	if prog, err := s.Directory.ProgramAt(serviceID, ctx.Now); err == nil {
-		if err := s.AddFeedback(feedback.Event{
+		if err := s.addFeedback(feedback.Event{
 			UserID:     userID,
 			ItemID:     prog.ID,
 			Kind:       feedback.Skip,
 			At:         ctx.Now,
 			Categories: prog.Categories,
-		}); err != nil {
+		}, tr); err != nil {
 			return recommend.Scored{}, err
 		}
 	}
-	return s.skipReplacement(userID, ctx)
+	return s.skipReplacement(userID, ctx, tr)
 }
 
 // SkipClip handles a skip of an already-playing recommended clip: the
 // negative feedback is recorded for the clip itself and the next
 // not-yet-skipped recommendation is returned.
 func (s *System) SkipClip(userID, itemID string, ctx recommend.Context) (recommend.Scored, error) {
+	return s.SkipClipTraced(userID, itemID, ctx, nil)
+}
+
+// SkipClipTraced is SkipClip with a span recorder attached (see
+// SkipLiveTraced).
+func (s *System) SkipClipTraced(userID, itemID string, ctx recommend.Context, tr *obs.Trace) (recommend.Scored, error) {
 	if it, ok := s.Repo.Get(itemID); ok {
-		if err := s.AddFeedback(feedback.Event{
+		if err := s.addFeedback(feedback.Event{
 			UserID:     userID,
 			ItemID:     it.ID,
 			Kind:       feedback.Skip,
 			At:         ctx.Now,
 			Categories: it.Categories,
-		}); err != nil {
+		}, tr); err != nil {
 			return recommend.Scored{}, err
 		}
 	}
-	return s.skipReplacement(userID, ctx)
+	return s.skipReplacement(userID, ctx, tr)
 }
 
 // skipReplacement picks the single best not-yet-skipped clip for the
@@ -1055,7 +1160,7 @@ func (s *System) SkipClip(userID, itemID string, ctx recommend.Context) (recomme
 // selects the one replacement without ranking (or sorting) the whole
 // catalog the way the old Recommend(user, ctx, 0) scan did
 // (BenchmarkSkipReplacement measures the gap).
-func (s *System) skipReplacement(userID string, ctx recommend.Context) (recommend.Scored, error) {
+func (s *System) skipReplacement(userID string, ctx recommend.Context, tr *obs.Trace) (recommend.Scored, error) {
 	skipped := s.Feedback.SkippedItems(userID)
 
 	exclude := skipped
@@ -1081,6 +1186,7 @@ func (s *System) skipReplacement(userID string, ctx recommend.Context) (recommen
 		Ctx:     ctx,
 		K:       1,
 		Exclude: exclude,
+		Trace:   tr,
 	}
 	s.pipe.Run(t)
 	if len(t.Ranked) == 0 {
