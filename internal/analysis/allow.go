@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowAnalyzerName is the pseudo-analyzer that lints the suppression
+// comments themselves (missing reason, unknown analyzer). Its findings
+// cannot be suppressed.
+const AllowAnalyzerName = "pphcr-allow"
+
+// allowPrefix starts a suppression comment:
+//
+//	//pphcr:allow <analyzer> <reason...>
+//
+// A line-position allow suppresses matching findings on its own line
+// and the next line; an allow inside a declaration's doc comment
+// suppresses matching findings in the whole declaration.
+const allowPrefix = "pphcr:allow"
+
+// allow is one parsed suppression comment.
+type allow struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+	// declFrom/declTo bound the suppressed line range when the comment
+	// sits in a doc comment; zero means line scope (line and line+1).
+	declFrom, declTo int
+	pos              token.Pos
+}
+
+// collectAllows parses every //pphcr:allow comment in the package and
+// lints them: an empty reason or an unknown analyzer name is itself a
+// finding (reported under AllowAnalyzerName).
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]allow, []Finding) {
+	var allows []allow
+	var lint []Finding
+
+	for _, f := range files {
+		// Doc-comment spans: comment position -> declaration line range.
+		type span struct{ from, to int }
+		docSpan := make(map[*ast.CommentGroup]span)
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				docSpan[doc] = span{
+					from: fset.Position(decl.Pos()).Line,
+					to:   fset.Position(decl.End()).Line,
+				}
+			}
+		}
+
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				a := allow{
+					analyzer: name,
+					reason:   reason,
+					file:     pos.Filename,
+					line:     pos.Line,
+					pos:      c.Pos(),
+				}
+				if sp, ok := docSpan[cg]; ok {
+					a.declFrom, a.declTo = sp.from, sp.to
+				}
+				switch {
+				case name == "":
+					lint = append(lint, newFinding(fset, AllowAnalyzerName, c.Pos(),
+						"pphcr:allow needs an analyzer name and a reason"))
+				case !known[name]:
+					lint = append(lint, newFinding(fset, AllowAnalyzerName, c.Pos(),
+						"pphcr:allow names unknown analyzer %q", name))
+				case reason == "":
+					lint = append(lint, newFinding(fset, AllowAnalyzerName, c.Pos(),
+						"pphcr:allow %s needs a non-empty reason", name))
+				default:
+					allows = append(allows, a)
+				}
+			}
+		}
+	}
+	return allows, lint
+}
+
+// suppressed reports whether finding f is covered by any allow.
+func suppressed(f Finding, allows []allow) bool {
+	for _, a := range allows {
+		if a.analyzer != f.Analyzer || a.file != f.File {
+			continue
+		}
+		if a.declFrom != 0 {
+			if f.Line >= a.declFrom && f.Line <= a.declTo {
+				return true
+			}
+			continue
+		}
+		if f.Line == a.line || f.Line == a.line+1 {
+			return true
+		}
+	}
+	return false
+}

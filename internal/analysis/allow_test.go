@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseForAllow(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow_fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestAllowLint(t *testing.T) {
+	src := `package p
+
+func f() {
+	//pphcr:allow lockorder justified because the fixture says so
+	_ = 1
+	//pphcr:allow lockorder
+	_ = 2
+	//pphcr:allow nosuchanalyzer some reason
+	_ = 3
+	//pphcr:allow
+	_ = 4
+}
+`
+	fset, files := parseForAllow(t, src)
+	known := map[string]bool{"lockorder": true}
+	allows, lint := collectAllows(fset, files, known)
+
+	if len(allows) != 1 {
+		t.Fatalf("got %d valid allows, want 1: %+v", len(allows), allows)
+	}
+	if allows[0].analyzer != "lockorder" || allows[0].reason == "" {
+		t.Errorf("valid allow parsed wrong: %+v", allows[0])
+	}
+
+	wantMsgs := []string{
+		"needs a non-empty reason",
+		"unknown analyzer",
+		"needs an analyzer name and a reason",
+	}
+	if len(lint) != len(wantMsgs) {
+		t.Fatalf("got %d lint findings, want %d: %v", len(lint), len(wantMsgs), lint)
+	}
+	for i, want := range wantMsgs {
+		if lint[i].Analyzer != AllowAnalyzerName {
+			t.Errorf("lint[%d].Analyzer = %q, want %q", i, lint[i].Analyzer, AllowAnalyzerName)
+		}
+		if !strings.Contains(lint[i].Message, want) {
+			t.Errorf("lint[%d] = %q, want substring %q", i, lint[i].Message, want)
+		}
+	}
+}
+
+func TestAllowScopes(t *testing.T) {
+	src := `package p
+
+//pphcr:allow lockorder whole decl is exempt for reasons
+func decorated() {
+	_ = 1
+	_ = 2
+}
+
+func plain() {
+	//pphcr:allow lockorder this line and the next
+	_ = 3
+	_ = 4
+}
+`
+	fset, files := parseForAllow(t, src)
+	known := map[string]bool{"lockorder": true}
+	allows, lint := collectAllows(fset, files, known)
+	if len(lint) != 0 {
+		t.Fatalf("unexpected lint: %v", lint)
+	}
+	if len(allows) != 2 {
+		t.Fatalf("got %d allows, want 2", len(allows))
+	}
+
+	mk := func(line int) Finding {
+		return Finding{Analyzer: "lockorder", File: "allow_fixture.go", Line: line}
+	}
+	// Doc-comment allow covers the whole decorated() decl (lines 4-7).
+	for _, line := range []int{4, 5, 6, 7} {
+		if !suppressed(mk(line), allows) {
+			t.Errorf("line %d in decorated() should be suppressed", line)
+		}
+	}
+	// Line allow in plain() covers its own line (10) and the next (11).
+	if !suppressed(mk(10), allows) || !suppressed(mk(11), allows) {
+		t.Error("line-scope allow should cover its line and the next")
+	}
+	if suppressed(mk(12), allows) {
+		t.Error("line-scope allow must not reach two lines down")
+	}
+	// Findings from other analyzers are never suppressed.
+	other := Finding{Analyzer: "poolescape", File: "allow_fixture.go", Line: 5}
+	if suppressed(other, allows) {
+		t.Error("allow for lockorder must not suppress poolescape")
+	}
+}

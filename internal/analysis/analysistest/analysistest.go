@@ -1,0 +1,219 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata directory and checks its findings against `// want`
+// annotations — a dependency-free analogue of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture layout: testdata/src/<pkg>/*.go, loaded with import path
+// <pkg>. A line expecting a finding carries a trailing comment of the
+// form
+//
+//	// want `regexp`
+//
+// and the test fails on any unmatched want or unexpected finding.
+// //pphcr:allow suppression comments are honored exactly as in
+// pphcr-vet (including the reason lint, reported under the
+// pphcr-allow pseudo-analyzer), so fixtures can prove both that an
+// analyzer fires and that a justified suppression silences it.
+package analysistest
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"pphcr/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// exportCache holds the process-wide stdlib export-data map, grown
+// lazily as fixtures import new packages.
+var exportCache struct {
+	sync.Mutex
+	m map[string]string
+}
+
+// stdExports returns export-data paths covering the given stdlib
+// import paths (and their dependencies).
+func stdExports(paths []string) (map[string]string, error) {
+	exportCache.Lock()
+	defer exportCache.Unlock()
+	if exportCache.m == nil {
+		exportCache.m = make(map[string]string)
+	}
+	var missing []string
+	for _, p := range paths {
+		if _, ok := exportCache.m[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		args := append([]string{"list", "-export", "-deps", "-f", "{{.ImportPath}}\t{{.Export}}"}, missing...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("analysistest: go list %v: %v\n%s", missing, err, stderr.String())
+		}
+		for _, ln := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+			path, export, ok := strings.Cut(ln, "\t")
+			if ok && export != "" {
+				exportCache.m[path] = export
+			}
+		}
+	}
+	return exportCache.m, nil
+}
+
+// Run loads each fixture package from testdata/src/<name> (in the
+// given order, so later packages may import earlier ones by name),
+// runs the analyzer on every one, and diffs findings against the
+// `// want` annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgNames ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	siblings := make(map[string]*types.Package)
+	known := map[string]bool{a.Name: true}
+
+	type loaded struct {
+		name  string
+		files []*ast.File
+		info  *types.Info
+		tpkg  *types.Package
+	}
+	var pkgs []loaded
+
+	for _, name := range pkgNames {
+		dir := filepath.Join(testdata, "src", name)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading fixture dir: %v", err)
+		}
+		var files []*ast.File
+		importSet := make(map[string]bool)
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing fixture: %v", err)
+			}
+			files = append(files, f)
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if _, sibling := siblings[path]; !sibling {
+					importSet[path] = true
+				}
+			}
+		}
+		if len(files) == 0 {
+			t.Fatalf("fixture package %s has no Go files", name)
+		}
+		var std []string
+		for p := range importSet {
+			std = append(std, p)
+		}
+		sort.Strings(std)
+		exports, err := stdExports(std)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpkg, info, err := analysis.CheckSource(fset, name, files, exports, siblings)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", name, err)
+		}
+		siblings[name] = tpkg
+		pkgs = append(pkgs, loaded{name: name, files: files, info: info, tpkg: tpkg})
+	}
+
+	for _, pkg := range pkgs {
+		findings := runOne(t, fset, pkg.files, pkg.tpkg, pkg.info, a, known)
+		checkWants(t, fset, pkg.files, a, findings)
+	}
+}
+
+// runOne executes the analyzer on one fixture package and applies the
+// allow suppression layer, returning surviving findings (including
+// allow-lint ones).
+func runOne(t *testing.T, fset *token.FileSet, files []*ast.File, tpkg *types.Package, info *types.Info, a *analysis.Analyzer, known map[string]bool) []analysis.Finding {
+	t.Helper()
+	pkgs := []*analysis.Package{{
+		ImportPath: tpkg.Path(),
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}}
+	findings, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return findings
+}
+
+// checkWants diffs findings against the fixture's want annotations.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, a *analysis.Analyzer, findings []analysis.Finding) {
+	t.Helper()
+	type wantKey struct {
+		file string
+		line int
+	}
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := make(map[wantKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := fset.Position(c.Pos())
+				k := wantKey{file: pos.Filename, line: pos.Line}
+				wants[k] = append(wants[k], &want{re: re, raw: m[1]})
+			}
+		}
+	}
+
+	for _, f := range findings {
+		k := wantKey{file: f.File, line: f.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no %s finding matched `%s`", k.file, k.line, a.Name, w.raw)
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package atomicfield enforces all-or-nothing atomic discipline: a
+// variable that is accessed through sync/atomic anywhere in the package
+// must be accessed through sync/atomic everywhere. A plain read of a
+// counter that other goroutines bump with atomic.AddInt64 is a data
+// race even when the plain access sits under some unrelated mutex —
+// the mutex orders nothing against the atomic writers.
+//
+// The analyzer collects every variable whose address is passed to a
+// package-level sync/atomic function (methods of the typed atomics —
+// atomic.Int64 and friends — are safe by construction and ignored),
+// then flags every other appearance of that variable. Taking the
+// variable's address (&x.f) is not flagged: that is how the atomic
+// helpers themselves receive it, and a pointer never constitutes a
+// plain read. Composite-literal keys are also exempt — zero-value
+// construction happens before the value is shared.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pphcr/internal/analysis"
+)
+
+// Analyzer is the atomicfield analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "variables touched via sync/atomic must be accessed atomically " +
+		"everywhere; plain access races even under an unrelated mutex",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: every variable whose address feeds a sync/atomic call.
+	atomicVars := make(map[*types.Var]token.Pos)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isAtomicFn(pass, call) {
+				return true
+			}
+			un, ok := analysis.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			if v := resolveVar(pass, un.X); v != nil {
+				if _, seen := atomicVars[v]; !seen {
+					atomicVars[v] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag plain appearances of those variables.
+	for _, f := range pass.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			firstAtomic, tracked := atomicVars[v]
+			if !tracked {
+				return true
+			}
+			// The effective node is the selector when the ident is its
+			// field part.
+			var node ast.Node = id
+			if sel, ok := parents[id].(*ast.SelectorExpr); ok && sel.Sel == id {
+				node = sel
+			}
+			p := skipParens(parents, node)
+			switch pn := p.(type) {
+			case *ast.UnaryExpr:
+				if pn.Op == token.AND {
+					return true // address-taken: the atomic access path
+				}
+			case *ast.KeyValueExpr:
+				if pn.Key == node {
+					return true // composite-literal construction
+				}
+			case *ast.SelectorExpr:
+				if pn.X != node {
+					return true // ident is the package half of pkg.Sel
+				}
+			}
+			pass.Reportf(node.Pos(),
+				"plain access to %s, which is accessed atomically (e.g. %s); plain and atomic access race",
+				v.Name(), pass.Fset.Position(firstAtomic))
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicFn reports whether the call is a package-level sync/atomic
+// function (LoadInt64, AddUint32, StorePointer, ...). Methods of the
+// typed atomics also live in sync/atomic but carry a receiver and are
+// excluded: the type system already makes their access atomic-only.
+func isAtomicFn(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// resolveVar maps the operand of &operand to the variable it denotes:
+// a struct field (through a selector) or a plain variable.
+func resolveVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	switch x := analysis.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v := pass.SelectedField(x); v != nil {
+			return v
+		}
+		if v, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// buildParents maps every node to its syntactic parent.
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// skipParens returns the nearest non-paren ancestor.
+func skipParens(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	p := parents[n]
+	for {
+		pe, ok := p.(*ast.ParenExpr)
+		if !ok {
+			return p
+		}
+		_ = pe
+		p = parents[p]
+	}
+}

@@ -1,0 +1,76 @@
+// Package counters exercises the atomicfield rule: once a field is
+// touched through sync/atomic, every access must be atomic.
+package counters
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct {
+	mu      sync.Mutex
+	hits    int64 // accessed via sync/atomic
+	misses  int64 // accessed via sync/atomic
+	batches int64 // plain, mutex-guarded everywhere: not tracked
+}
+
+var globalOps int64
+
+func (s *stats) record() {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.AddInt64((&s.misses), 1)
+	atomic.AddInt64(&globalOps, 1)
+}
+
+// goodRead loads atomically — the only sanctioned read path.
+func (s *stats) goodRead() int64 {
+	return atomic.LoadInt64(&s.hits) + atomic.LoadInt64(&s.misses)
+}
+
+// goodHelper passes the address on; a pointer is not a plain read.
+func (s *stats) goodHelper() *int64 {
+	return &s.hits
+}
+
+// badRead reads the counter plainly; racing with record's AddInt64.
+func (s *stats) badRead() int64 {
+	return s.hits // want `plain access to hits, which is accessed atomically`
+}
+
+// badGuardedRead shows the subtle case: the mutex does not order this
+// read against the atomic writers, so it is still a race.
+func (s *stats) badGuardedRead() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.misses // want `plain access to misses, which is accessed atomically`
+}
+
+// badWrite resets the counter with a plain store.
+func (s *stats) badWrite() {
+	s.hits = 0 // want `plain access to hits, which is accessed atomically`
+}
+
+// badGlobal reads the package-level counter plainly.
+func badGlobal() int64 {
+	return globalOps // want `plain access to globalOps, which is accessed atomically`
+}
+
+// goodConstruct zero-initializes via a composite literal key — that
+// happens before the value is shared and is exempt.
+func goodConstruct() *stats {
+	return &stats{hits: 0, misses: 0}
+}
+
+// goodPlainField: batches is never touched atomically, so the guarded
+// plain access is the correct discipline and is not flagged.
+func (s *stats) goodPlainField() {
+	s.mu.Lock()
+	s.batches++
+	s.mu.Unlock()
+}
+
+// allowedRead carries a justified suppression.
+func (s *stats) allowedRead() int64 {
+	//pphcr:allow atomicfield single-goroutine test helper runs before any writer starts
+	return s.hits
+}

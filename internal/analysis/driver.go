@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+)
+
+// Finding is one reported, unsuppressed diagnostic — the unit of
+// pphcr-vet's text and JSON output.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the conventional file:line:col: analyzer: message form
+// with the file path relative to the current directory when possible.
+func (f Finding) String() string {
+	file := f.File
+	if rel, err := filepath.Rel(".", file); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+		file = rel
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s", file, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+func newFinding(fset *token.FileSet, analyzer string, pos token.Pos, format string, args ...any) Finding {
+	p := fset.Position(pos)
+	return Finding{
+		Analyzer: analyzer,
+		File:     p.Filename,
+		Line:     p.Line,
+		Col:      p.Column,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// RunAnalyzers executes every analyzer on every package, applies the
+// //pphcr:allow suppressions, lints the suppression comments, and
+// returns the surviving findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var out []Finding
+	for _, pkg := range pkgs {
+		allows, lint := collectAllows(pkg.Fset, pkg.Files, known)
+		out = append(out, lint...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			var diags []Diagnostic
+			pass.report = func(d Diagnostic) { diags = append(diags, d) }
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range diags {
+				f := newFinding(pkg.Fset, a.Name, d.Pos, "%s", d.Message)
+				if !suppressed(f, allows) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (./..., package dirs, import paths) with
+// `go list` run in dir, parses every matched package's non-test files,
+// and type-checks them against the build cache's compiled export data.
+// Dependencies — standard library and module-internal alike — are
+// imported from export data, so no package is ever parsed twice and no
+// network or module download is needed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// ExportImporter returns a types importer that resolves every import
+// path through the given map of compiled export-data files (as printed
+// by `go list -export`).
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		p, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(p)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// NewInfo allocates a types.Info with every map analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// checkPackage parses files and type-checks them as importPath.
+func checkPackage(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// CheckSource type-checks an already-parsed file set as one package —
+// the analysistest loader for fixture packages under testdata (which
+// `go list` deliberately ignores). imports maps the paths of
+// already-loaded sibling fixture packages; everything else resolves
+// through the export map.
+func CheckSource(fset *token.FileSet, importPath string, files []*ast.File, exports map[string]string, siblings map[string]*types.Package) (*types.Package, *types.Info, error) {
+	base := ExportImporter(fset, exports)
+	imp := &siblingImporter{base: base, siblings: siblings}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	return tpkg, info, nil
+}
+
+type siblingImporter struct {
+	base     types.Importer
+	siblings map[string]*types.Package
+}
+
+func (s *siblingImporter) Import(path string) (*types.Package, error) {
+	if p, ok := s.siblings[path]; ok {
+		return p, nil
+	}
+	return s.base.Import(path)
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"pphcr/internal/analysis/analysistest"
+	"pphcr/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "profile", "pphcr")
+}

@@ -1,0 +1,167 @@
+// Package pphcr mirrors the shapes of the real root package that the
+// lockorder analyzer keys on: the commit barrier, the user shards, and
+// the ingest mutex.
+package pphcr
+
+import (
+	"sync"
+
+	"profile"
+)
+
+type barrierStripe struct {
+	mu sync.RWMutex
+}
+
+type commitBarrier struct {
+	stripes []barrierStripe
+}
+
+// rlock uses the try-then-block idiom; the TryRLock in the condition is
+// conditional and must not count as an acquisition.
+func (b *commitBarrier) rlock(i uint32) {
+	st := &b.stripes[i]
+	if st.mu.TryRLock() {
+		return
+	}
+	st.mu.RLock()
+}
+
+func (b *commitBarrier) runlock(i uint32) { b.stripes[i].mu.RUnlock() }
+
+// quiesce is the sanctioned lock-all loop: stripes are taken in index
+// order, so holding siblings is safe here and must not be flagged.
+func (b *commitBarrier) quiesce() {
+	for i := range b.stripes {
+		b.stripes[i].mu.Lock()
+	}
+}
+
+func (b *commitBarrier) release() {
+	for i := len(b.stripes) - 1; i >= 0; i-- {
+		b.stripes[i].mu.Unlock()
+	}
+}
+
+type userShard struct {
+	mu sync.RWMutex
+}
+
+type System struct {
+	barrier  commitBarrier
+	shards   []userShard
+	ingestMu sync.Mutex
+	Profiles *profile.Store
+}
+
+func (s *System) lockShard(sh *userShard) {
+	if !sh.mu.TryLock() {
+		sh.mu.Lock()
+	}
+}
+
+func (s *System) checkpointBarrier(fn func()) {
+	s.barrier.quiesce()
+	defer s.barrier.release()
+	fn()
+}
+
+// goodWritePath is the canonical mutation shape: barrier stripe, then
+// shard, then (inside Put) the store lock — strictly descending.
+func goodWritePath(s *System, idx uint32, p profile.Profile) {
+	s.barrier.rlock(idx)
+	defer s.barrier.runlock(idx)
+	sh := &s.shards[idx]
+	s.lockShard(sh)
+	s.Profiles.Put(p)
+	sh.mu.Unlock()
+}
+
+// badInversion takes the barrier while already inside a shard critical
+// section.
+func badInversion(s *System, idx uint32) {
+	sh := &s.shards[idx]
+	s.lockShard(sh)
+	s.barrier.rlock(idx) // want `lock order inversion: acquiring commit barrier stripe while holding user-shard lock`
+	s.barrier.runlock(idx)
+	sh.mu.Unlock()
+}
+
+// badSibling holds two user shards at once outside the quiesce path.
+func badSibling(s *System, a, b uint32) {
+	s.lockShard(&s.shards[a])
+	s.lockShard(&s.shards[b]) // want `sibling lock: acquiring user-shard lock while user-shard lock is already held`
+	s.shards[b].mu.Unlock()
+	s.shards[a].mu.Unlock()
+}
+
+// badIngestOrder pins WAL order with ingestMu but enters the barrier
+// second — the checkpoint quiesce could deadlock against it.
+func badIngestOrder(s *System) {
+	s.ingestMu.Lock()
+	s.barrier.rlock(0) // want `lock order inversion: acquiring commit barrier stripe while holding ingest mutex`
+	s.barrier.runlock(0)
+	s.ingestMu.Unlock()
+}
+
+// goodIngest is the real ingest ordering: barrier first, then ingestMu.
+func goodIngest(s *System) {
+	s.barrier.rlock(0)
+	s.ingestMu.Lock()
+	s.ingestMu.Unlock()
+	s.barrier.runlock(0)
+}
+
+// goodCheckpoint: inside checkpointBarrier the whole barrier is held;
+// taking a shard underneath it is descending and legal.
+func goodCheckpoint(s *System, idx uint32) {
+	s.checkpointBarrier(func() {
+		sh := &s.shards[idx]
+		sh.mu.Lock()
+		sh.mu.Unlock()
+	})
+}
+
+// badCheckpointReentry re-enters the barrier from within the quiesce.
+func badCheckpointReentry(s *System, idx uint32) {
+	s.checkpointBarrier(func() {
+		s.barrier.rlock(idx) // want `sibling lock: acquiring commit barrier stripe while commit barrier stripe is already held`
+		s.barrier.runlock(idx)
+	})
+}
+
+// condMerge: branch merge is an intersection, so the early-return
+// unlock path must not leave phantom held state behind.
+func condMerge(s *System, idx uint32, fast bool) {
+	sh := &s.shards[idx]
+	s.lockShard(sh)
+	if fast {
+		sh.mu.Unlock()
+		return
+	}
+	sh.mu.Unlock()
+	s.barrier.rlock(idx)
+	s.barrier.runlock(idx)
+}
+
+// goroutineFresh: a spawned goroutine starts with an empty held set —
+// the shard lock held by the spawner belongs to another stack.
+func goroutineFresh(s *System, idx uint32) {
+	sh := &s.shards[idx]
+	s.lockShard(sh)
+	go func() {
+		s.barrier.rlock(idx)
+		s.barrier.runlock(idx)
+	}()
+	sh.mu.Unlock()
+}
+
+// allowedInversion carries a justified suppression and must be silent.
+func allowedInversion(s *System, idx uint32) {
+	sh := &s.shards[idx]
+	s.lockShard(sh)
+	//pphcr:allow lockorder fixture proves a justified suppression silences the finding
+	s.barrier.rlock(idx)
+	s.barrier.runlock(idx)
+	sh.mu.Unlock()
+}

@@ -1,0 +1,33 @@
+// Package profile mimics the repo's store shape: a mutex-guarded Store
+// whose lock sits at the bottom of the pphcr hierarchy.
+package profile
+
+import "sync"
+
+type Profile struct{ UserID string }
+
+type Store struct {
+	mu sync.RWMutex
+	m  map[string]Profile
+}
+
+// Put is the well-formed store access: the store lock is a leaf.
+func (s *Store) Put(p Profile) {
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string]Profile)
+	}
+	s.m[p.UserID] = p
+	s.mu.Unlock()
+}
+
+// merge holds two store locks at once — siblings of the same level.
+func merge(dst, src *Store) {
+	dst.mu.Lock()
+	src.mu.RLock() // want `sibling lock: acquiring store lock while store lock is already held`
+	for id, p := range src.m {
+		dst.m[id] = p
+	}
+	src.mu.RUnlock()
+	dst.mu.Unlock()
+}

@@ -1,0 +1,282 @@
+// Package mutateemit enforces the durability contract of the System
+// write paths (docs/durability.md): state mutation and the WAL record
+// that replays it must be bracketed by the same shard-lock critical
+// section, under the commit-barrier stripe of that shard, and a
+// critical section emits at most one record.
+//
+// Concretely, at every call to the System's emit method:
+//
+//   - the user-shard lock (or the ingest mutex, for the userless ingest
+//     path) must be held — emitting outside the critical section lets a
+//     racing same-user mutation reach the WAL out of apply order, which
+//     makes the log unreplayable;
+//   - a commit-barrier stripe must be held — otherwise a checkpoint
+//     quiesce can slice between apply and emit and snapshot a state the
+//     WAL position does not match;
+//   - the stripe index passed to emit must be the same expression as
+//     the one passed to the barrier rlock — emitting on a stripe the
+//     barrier does not cover reintroduces the same checkpoint race;
+//   - a second emit before the shard unlock is flagged: one mutation,
+//     one record.
+//
+// The walk is linear in source order within each function; calls inside
+// defer statements and function literals are ignored (a deferred
+// runlock releases at return, not at its textual position). Functions
+// whose contract is "caller holds the barrier" document it with
+// //pphcr:allow mutateemit and the reason.
+package mutateemit
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"pphcr/internal/analysis"
+)
+
+// Analyzer is the mutateemit analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "mutateemit",
+	Doc: "System mutations must emit their WAL record inside the same " +
+		"shard-lock critical section, under the matching barrier stripe, " +
+		"exactly once",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// event is one lock or emit operation at a source position.
+type event struct {
+	pos  token.Pos
+	kind int
+	arg  string // stripe expression for barrier/emit events
+}
+
+const (
+	evBarrierAcquire = iota
+	evBarrierRelease
+	evShardAcquire
+	evShardRelease
+	evIngestAcquire
+	evIngestRelease
+	evEmit
+)
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var events []event
+	collect(pass, fd.Body, &events)
+
+	hasEmit := false
+	for _, e := range events {
+		if e.kind == evEmit {
+			hasEmit = true
+			break
+		}
+	}
+	if !hasEmit {
+		return
+	}
+
+	var (
+		barrierDepth  int
+		barrierStripe string
+		shardHeld     bool
+		ingestHeld    bool
+		emitted       bool
+	)
+	for _, e := range events {
+		switch e.kind {
+		case evBarrierAcquire:
+			barrierDepth++
+			barrierStripe = e.arg
+		case evBarrierRelease:
+			if barrierDepth > 0 {
+				barrierDepth--
+			}
+		case evShardAcquire:
+			shardHeld, emitted = true, false
+		case evShardRelease:
+			shardHeld, emitted = false, false
+		case evIngestAcquire:
+			ingestHeld, emitted = true, false
+		case evIngestRelease:
+			ingestHeld, emitted = false, false
+		case evEmit:
+			if !shardHeld && !ingestHeld {
+				pass.Reportf(e.pos,
+					"WAL emit outside the shard/ingest critical section: apply and emit must share one lock hold, or replay order diverges from apply order")
+			}
+			switch {
+			case barrierDepth == 0:
+				pass.Reportf(e.pos,
+					"WAL emit without the commit-barrier stripe held: a checkpoint quiesce can snapshot between apply and emit")
+			case e.arg != barrierStripe:
+				pass.Reportf(e.pos,
+					"WAL emit on stripe %s but the barrier holds stripe %s: the emit is not covered by the checkpoint exclusion",
+					e.arg, barrierStripe)
+			}
+			if emitted {
+				pass.Reportf(e.pos,
+					"second WAL emit in one critical section: one mutation, one record")
+			}
+			emitted = true
+		}
+	}
+}
+
+// collect gathers lock/emit events in source order, skipping defer
+// statements, function literals, and — crucially — the bodies of if
+// statements that terminate (end in return or panic): those are the
+// early-error cleanup paths, and their unlocks never execute on the
+// fall-through path the linear walk models.
+func collect(pass *analysis.Pass, body *ast.BlockStmt, events *[]event) {
+	skip := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ifs, ok := n.(*ast.IfStmt); ok && terminates(ifs.Body.List) {
+			skip[ifs.Body] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if skip[n] {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit, *ast.GoStmt:
+			_ = x
+			return false
+		case *ast.CallExpr:
+			if e, ok := classify(pass, x); ok {
+				*events = append(*events, e)
+			}
+		}
+		return true
+	})
+}
+
+// terminates reports whether a statement list always leaves the
+// function (return or panic at its end).
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch st := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := analysis.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(st.List)
+	}
+	return false
+}
+
+// classify maps a call to a mutateemit event, keying on the repo's
+// durable-write vocabulary: the emit / lockShard / rlockShard methods
+// of a System-shaped type (one with SetMutationHook and a shards
+// field), the rlock / runlock methods of commitBarrier, the userShard
+// mutex, and the ingestMu field.
+func classify(pass *analysis.Pass, call *ast.CallExpr) (event, bool) {
+	sel, recv, ok := analysis.CalleeMethod(call)
+	if !ok {
+		return event{}, false
+	}
+	name := sel.Sel.Name
+	recvType := pass.TypesInfo.TypeOf(recv)
+
+	if isSystemShaped(recvType) {
+		switch name {
+		case "emit":
+			if len(call.Args) >= 1 {
+				return event{pos: call.Pos(), kind: evEmit, arg: render(pass.Fset, call.Args[0])}, true
+			}
+		case "lockShard", "rlockShard":
+			return event{pos: call.Pos(), kind: evShardAcquire}, true
+		}
+		return event{}, false
+	}
+
+	if pkg, typ, ok := analysis.NamedOwner(recvType); ok && pkg == "pphcr" && typ == "commitBarrier" {
+		switch name {
+		case "rlock":
+			if len(call.Args) == 1 {
+				return event{pos: call.Pos(), kind: evBarrierAcquire, arg: render(pass.Fset, call.Args[0])}, true
+			}
+		case "runlock":
+			return event{pos: call.Pos(), kind: evBarrierRelease}, true
+		}
+		return event{}, false
+	}
+
+	// Primitive mutex calls: userShard.mu and System.ingestMu.
+	if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+		fieldSel, ok := analysis.Unparen(recv).(*ast.SelectorExpr)
+		if !ok {
+			return event{}, false
+		}
+		ownerType := pass.TypesInfo.TypeOf(fieldSel.X)
+		pkg, typ, named := analysis.NamedOwner(ownerType)
+		switch {
+		case named && pkg == "pphcr" && typ == "userShard" && fieldSel.Sel.Name == "mu":
+			switch name {
+			case "Lock", "RLock":
+				return event{pos: call.Pos(), kind: evShardAcquire}, true
+			case "Unlock", "RUnlock":
+				return event{pos: call.Pos(), kind: evShardRelease}, true
+			}
+		case isSystemShaped(ownerType) && fieldSel.Sel.Name == "ingestMu":
+			switch name {
+			case "Lock":
+				return event{pos: call.Pos(), kind: evIngestAcquire}, true
+			case "Unlock":
+				return event{pos: call.Pos(), kind: evIngestRelease}, true
+			}
+		}
+	}
+	return event{}, false
+}
+
+// isSystemShaped reports whether t (through one pointer) is a named
+// type carrying both a SetMutationHook method and a shards field — the
+// structural signature of the durable System.
+func isSystemShaped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := analysis.Deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	if m, _, _ := types.LookupFieldOrMethod(n, true, n.Obj().Pkg(), "SetMutationHook"); m == nil {
+		return false
+	}
+	f, _, _ := types.LookupFieldOrMethod(n, true, n.Obj().Pkg(), "shards")
+	v, ok := f.(*types.Var)
+	return ok && v.IsField()
+}
+
+// render prints an expression as source text for stripe comparison.
+func render(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -1,0 +1,12 @@
+package mutateemit_test
+
+import (
+	"testing"
+
+	"pphcr/internal/analysis/analysistest"
+	"pphcr/internal/analysis/mutateemit"
+)
+
+func TestMutateEmit(t *testing.T) {
+	analysistest.Run(t, "testdata", mutateemit.Analyzer, "pphcr")
+}

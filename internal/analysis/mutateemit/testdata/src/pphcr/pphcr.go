@@ -1,0 +1,168 @@
+// Package pphcr mirrors the System write-path shapes the mutateemit
+// analyzer keys on: a System-shaped type (SetMutationHook + shards),
+// the commit barrier, and the ingest mutex.
+package pphcr
+
+import "sync"
+
+type Event struct {
+	Type    string
+	Payload []byte
+}
+
+type barrierStripe struct {
+	mu sync.RWMutex
+}
+
+type commitBarrier struct {
+	stripes []barrierStripe
+}
+
+func (b *commitBarrier) rlock(i uint32)   { b.stripes[i].mu.RLock() }
+func (b *commitBarrier) runlock(i uint32) { b.stripes[i].mu.RUnlock() }
+
+type userShard struct {
+	mu   sync.RWMutex
+	data map[string]int
+}
+
+type System struct {
+	barrier  commitBarrier
+	shards   []userShard
+	ingestMu sync.Mutex
+	hook     func(stripe uint32, e Event) error
+}
+
+func (s *System) SetMutationHook(fn func(stripe uint32, e Event) error) { s.hook = fn }
+
+func (s *System) emit(stripe uint32, e Event) error {
+	if s.hook == nil {
+		return nil
+	}
+	return s.hook(stripe, e)
+}
+
+func (s *System) lockShard(sh *userShard) { sh.mu.Lock() }
+
+// goodMutation is the canonical write path: apply + emit under one
+// shard hold, inside the matching barrier stripe.
+func (s *System) goodMutation(idx uint32, user string) error {
+	s.barrier.rlock(idx)
+	defer s.barrier.runlock(idx)
+	sh := &s.shards[idx]
+	s.lockShard(sh)
+	sh.data[user]++
+	err := s.emit(idx, Event{Type: "bump"})
+	sh.mu.Unlock()
+	return err
+}
+
+// goodIngest is the userless path: ingestMu pins WAL order instead of a
+// shard lock, under the fixed ingest stripe.
+func (s *System) goodIngest(payload []byte) error {
+	s.barrier.rlock(0)
+	defer s.barrier.runlock(0)
+	s.ingestMu.Lock()
+	err := s.emit(0, Event{Type: "ingest", Payload: payload})
+	s.ingestMu.Unlock()
+	return err
+}
+
+// badUnlocked emits after releasing the shard lock: a racing same-user
+// mutation can reach the WAL between apply and emit.
+func (s *System) badUnlocked(idx uint32, user string) error {
+	s.barrier.rlock(idx)
+	defer s.barrier.runlock(idx)
+	sh := &s.shards[idx]
+	s.lockShard(sh)
+	sh.data[user]++
+	sh.mu.Unlock()
+	return s.emit(idx, Event{Type: "bump"}) // want `WAL emit outside the shard/ingest critical section`
+}
+
+// badNoBarrier emits without entering the commit barrier: a checkpoint
+// can slice between apply and emit.
+func (s *System) badNoBarrier(idx uint32, user string) error {
+	sh := &s.shards[idx]
+	s.lockShard(sh)
+	sh.data[user]++
+	err := s.emit(idx, Event{Type: "bump"}) // want `WAL emit without the commit-barrier stripe held`
+	sh.mu.Unlock()
+	return err
+}
+
+// badStripeMismatch holds one stripe but emits on another.
+func (s *System) badStripeMismatch(idx, other uint32, user string) error {
+	s.barrier.rlock(idx)
+	defer s.barrier.runlock(idx)
+	sh := &s.shards[idx]
+	s.lockShard(sh)
+	sh.data[user]++
+	err := s.emit(other, Event{Type: "bump"}) // want `WAL emit on stripe other but the barrier holds stripe idx`
+	sh.mu.Unlock()
+	return err
+}
+
+// badDoubleEmit logs two records for one mutation.
+func (s *System) badDoubleEmit(idx uint32, user string) error {
+	s.barrier.rlock(idx)
+	defer s.barrier.runlock(idx)
+	sh := &s.shards[idx]
+	s.lockShard(sh)
+	sh.data[user]++
+	_ = s.emit(idx, Event{Type: "bump"})
+	err := s.emit(idx, Event{Type: "bump-again"}) // want `second WAL emit in one critical section`
+	sh.mu.Unlock()
+	return err
+}
+
+// goodTwoSections emits once per critical section — two sections, two
+// records, no finding.
+func (s *System) goodTwoSections(idx uint32, user string) {
+	s.barrier.rlock(idx)
+	defer s.barrier.runlock(idx)
+	sh := &s.shards[idx]
+	s.lockShard(sh)
+	sh.data[user]++
+	_ = s.emit(idx, Event{Type: "bump"})
+	sh.mu.Unlock()
+	s.lockShard(sh)
+	sh.data[user]++
+	_ = s.emit(idx, Event{Type: "bump"})
+	sh.mu.Unlock()
+}
+
+// goodErrorPath mirrors the compactTracking error branch: the unlock
+// inside the terminating if body belongs to the early-return path and
+// must not count against the fall-through emit.
+func (s *System) goodErrorPath(idx uint32, user string) error {
+	s.barrier.rlock(idx)
+	defer s.barrier.runlock(idx)
+	sh := &s.shards[idx]
+	s.lockShard(sh)
+	n, err := work(user)
+	if err != nil {
+		sh.mu.Unlock()
+		return err
+	}
+	sh.data[user] = n
+	err = s.emit(idx, Event{Type: "work"})
+	sh.mu.Unlock()
+	return err
+}
+
+func work(user string) (int, error) { return len(user), nil }
+
+// allowedCallerHolds documents the compactTracking shape: every caller
+// enters the barrier before calling, so the in-function walk cannot see
+// it.
+//
+//pphcr:allow mutateemit callers hold the user's barrier stripe per the documented contract
+func (s *System) allowedCallerHolds(idx uint32, user string) error {
+	sh := &s.shards[idx]
+	s.lockShard(sh)
+	sh.data[user]++
+	err := s.emit(idx, Event{Type: "compact"})
+	sh.mu.Unlock()
+	return err
+}

@@ -1,0 +1,12 @@
+package nopadlockcopy_test
+
+import (
+	"testing"
+
+	"pphcr/internal/analysis/analysistest"
+	"pphcr/internal/analysis/nopadlockcopy"
+)
+
+func TestNoPadLockCopy(t *testing.T) {
+	analysistest.Run(t, "testdata", nopadlockcopy.Analyzer, "padded")
+}

@@ -1,0 +1,92 @@
+// Package padded exercises nopadlockcopy: padded, mutex-bearing, and
+// atomic-bearing structs must move by pointer.
+package padded
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// stripe is a pad-only struct — no sync primitive, so go vet's
+// copylocks would let a copy through; the padding is the point.
+type stripe struct {
+	count int64
+	_     [56]byte
+}
+
+// guarded carries a mutex.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// counters carries typed atomics.
+type counters struct {
+	hits atomic.Int64
+}
+
+// wrapper embeds a pinned struct by value and inherits the pin.
+type wrapper struct {
+	s stripe
+}
+
+// badAssign copies an existing stripe out of a slice element.
+func badAssign(xs []stripe) stripe { // want `badAssign takes stripe by value as a result`
+	x := xs[0] // want `stripe assigned by value; it contains cacheline padding`
+	return x   // want `stripe returned by value; it contains cacheline padding`
+}
+
+// badDeref copies through a pointer.
+func badDeref(p *guarded) {
+	g := *p // want `guarded assigned by value; it contains a sync\.Mutex`
+	_ = g.n
+}
+
+// badParam declares a by-value parameter of a pinned type.
+func badParam(c counters) int64 { // want `badParam takes counters by value as a parameter; it contains an atomic\.Int64`
+	return c.hits.Load()
+}
+
+// badReceiver declares a by-value receiver.
+func (w wrapper) badReceiver() {} // want `badReceiver takes wrapper by value as a receiver; it contains cacheline padding`
+
+// badRange copies every element while iterating.
+func badRange(xs []stripe) int64 {
+	var total int64
+	for _, s := range xs { // want `ranging copies stripe elements by value; they contain cacheline padding`
+		total += s.count
+	}
+	return total
+}
+
+// badCallArg passes a pinned value into a call by value.
+func badCallArg(g guarded) { // want `badCallArg takes guarded by value as a parameter; it contains a sync\.Mutex`
+	sink(g) // want `guarded passed by value; it contains a sync\.Mutex`
+}
+
+func sink(v interface{}) { _ = v }
+
+// goodPointer moves everything by pointer; field access through an
+// index expression is not a copy of the struct.
+func goodPointer(xs []stripe, w *wrapper) int64 {
+	total := xs[0].count
+	for i := range xs {
+		total += xs[i].count
+	}
+	total += w.s.count
+	return total
+}
+
+// goodConstruct builds fresh values; construction is not a copy.
+func goodConstruct() *stripe {
+	s := stripe{count: 1}
+	return &s
+}
+
+// allowedCopy documents a sanctioned copy: the value is still private
+// to its constructor, so no sharing exists yet.
+func allowedCopy(proto *stripe) *stripe {
+	//pphcr:allow nopadlockcopy value not yet published; constructor-local copy of a template
+	s := *proto
+	return &s
+}

@@ -1,0 +1,225 @@
+// Package poolescape flags sync.Pool values that outlive the function
+// that got them. A pooled object may be handed back to the pool (Put)
+// and re-used by any goroutine the moment the getter stops using it, so
+// storing it into a struct field, a global, a map/slice element,
+// returning it, or capturing it in a spawned goroutine creates an
+// aliasing window where two owners mutate the same object.
+//
+// Taint is intraprocedural and deliberately shallow: it follows direct
+// aliases (x := pool.Get().(*T); y := x; &x), type assertions, and the
+// append builtin — not arbitrary function calls. A value laundered
+// through a helper's return value is out of scope; the repo convention
+// is that helpers either Put before returning or document the handoff
+// with //pphcr:allow poolescape.
+package poolescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pphcr/internal/analysis"
+)
+
+// Analyzer is the poolescape analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc: "sync.Pool values must not be stored into fields or globals, " +
+		"returned, or captured by goroutines that outlive the Put",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+type state struct {
+	pass    *analysis.Pass
+	tainted map[*types.Var]bool
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	st := &state{pass: pass, tainted: make(map[*types.Var]bool)}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Handled at the GoStmt site; a plain literal runs on this
+			// stack and may use the pooled value freely.
+			return false
+		case *ast.AssignStmt:
+			st.assign(x)
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if st.taintedExpr(r) {
+					pass.Reportf(r.Pos(),
+						"pooled value returned from %s; the caller outlives this function's claim on it",
+						fd.Name.Name)
+				}
+			}
+		case *ast.GoStmt:
+			st.checkGo(x)
+			return false
+		case *ast.DeclStmt:
+			if gd, ok := x.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						st.declare(vs)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// assign propagates taint through x := expr chains and flags stores
+// that let the pooled value escape the function.
+func (s *state) assign(a *ast.AssignStmt) {
+	for i, lhs := range a.Lhs {
+		var rhs ast.Expr
+		if len(a.Rhs) == len(a.Lhs) {
+			rhs = a.Rhs[i]
+		} else if len(a.Rhs) == 1 {
+			rhs = a.Rhs[0] // multi-value: v, ok := pool.Get().(*T) etc.
+		}
+		if rhs == nil || !s.taintedExpr(rhs) {
+			continue
+		}
+		switch l := analysis.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				continue
+			}
+			if v := s.objOf(l); v != nil {
+				if v.Parent() == s.pass.Pkg.Scope() {
+					s.pass.Reportf(a.Pos(),
+						"pooled value stored into package variable %s; it escapes the Get/Put window", l.Name)
+					continue
+				}
+				s.tainted[v] = true
+			}
+		case *ast.SelectorExpr:
+			s.pass.Reportf(a.Pos(),
+				"pooled value stored into field %s; it escapes the Get/Put window", render(l))
+		case *ast.IndexExpr:
+			s.pass.Reportf(a.Pos(),
+				"pooled value stored into element %s; it escapes the Get/Put window", render(l))
+		case *ast.StarExpr:
+			// *p = pooled: writing through a pointer whose own
+			// provenance is untracked — out of scope.
+		}
+	}
+}
+
+// declare handles var v = expr declarations.
+func (s *state) declare(vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		if i >= len(vs.Values) {
+			break
+		}
+		if s.taintedExpr(vs.Values[i]) {
+			if v, ok := s.pass.TypesInfo.Defs[name].(*types.Var); ok {
+				s.tainted[v] = true
+			}
+		}
+	}
+}
+
+// checkGo reports tainted variables referenced inside a go'd literal.
+func (s *state) checkGo(g *ast.GoStmt) {
+	fl, ok := analysis.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		// go someFunc(tainted): handing the value to a new goroutine.
+		for _, arg := range g.Call.Args {
+			if s.taintedExpr(arg) {
+				s.pass.Reportf(arg.Pos(),
+					"pooled value passed to a spawned goroutine; it outlives this function's claim on it")
+			}
+		}
+		return
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v := s.objOf(id); v != nil && s.tainted[v] {
+				s.pass.Reportf(id.Pos(),
+					"pooled value %s captured by a spawned goroutine; it outlives this function's claim on it", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// taintedExpr reports whether e denotes a pooled value: a direct
+// sync.Pool Get call, a type assertion over one, an alias of a tainted
+// variable, or an append involving one.
+func (s *state) taintedExpr(e ast.Expr) bool {
+	switch x := analysis.Unparen(e).(type) {
+	case *ast.Ident:
+		v := s.objOf(x)
+		return v != nil && s.tainted[v]
+	case *ast.UnaryExpr:
+		return s.taintedExpr(x.X)
+	case *ast.TypeAssertExpr:
+		return s.taintedExpr(x.X)
+	case *ast.CallExpr:
+		if isPoolGet(s.pass, x) {
+			return true
+		}
+		if id, ok := analysis.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := s.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				for _, arg := range x.Args {
+					if s.taintedExpr(arg) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func (s *state) objOf(id *ast.Ident) *types.Var {
+	if v, ok := s.pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := s.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// isPoolGet matches (expr of type sync.Pool).Get().
+func isPoolGet(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, recv, ok := analysis.CalleeMethod(call)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	pkg, typ, ok := analysis.NamedOwner(pass.TypesInfo.TypeOf(recv))
+	return ok && pkg == "sync" && typ == "Pool"
+}
+
+// render prints a selector/index chain for the message.
+func render(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return render(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return render(x.X) + "[...]"
+	case *ast.ParenExpr:
+		return render(x.X)
+	case *ast.StarExpr:
+		return "*" + render(x.X)
+	default:
+		return "expression"
+	}
+}

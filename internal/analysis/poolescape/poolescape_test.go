@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"pphcr/internal/analysis/analysistest"
+	"pphcr/internal/analysis/poolescape"
+)
+
+func TestPoolEscape(t *testing.T) {
+	analysistest.Run(t, "testdata", poolescape.Analyzer, "pools")
+}

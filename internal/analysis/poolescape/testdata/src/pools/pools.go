@@ -1,0 +1,104 @@
+// Package pools exercises the poolescape rule: values from sync.Pool
+// must stay within the Get/Put window of one function and one
+// goroutine.
+package pools
+
+import "sync"
+
+type buf struct {
+	b []byte
+}
+
+var bufPool = sync.Pool{New: func() any { return new(buf) }}
+
+type server struct {
+	scratch *buf
+	ring    []*buf
+}
+
+var leaked *buf
+
+// goodRoundTrip is the sanctioned shape: Get, use, Put.
+func goodRoundTrip(data []byte) int {
+	b := bufPool.Get().(*buf)
+	b.b = append(b.b[:0], data...)
+	n := len(b.b)
+	bufPool.Put(b)
+	return n
+}
+
+// goodDeferPut parks the Put in a defer; still one owner.
+func goodDeferPut(data []byte) int {
+	b := bufPool.Get().(*buf)
+	defer bufPool.Put(b)
+	b.b = append(b.b[:0], data...)
+	return len(b.b)
+}
+
+// badReturn hands the pooled value to the caller.
+func badReturn() *buf {
+	b := bufPool.Get().(*buf)
+	return b // want `pooled value returned from badReturn`
+}
+
+// badAliasReturn launders the value through a local alias first.
+func badAliasReturn() *buf {
+	b := bufPool.Get().(*buf)
+	alias := b
+	return alias // want `pooled value returned from badAliasReturn`
+}
+
+// badFieldStore parks the pooled value in a struct field.
+func (s *server) badFieldStore() {
+	s.scratch = bufPool.Get().(*buf) // want `pooled value stored into field s\.scratch`
+}
+
+// badAppendStore smuggles it into a field through append.
+func (s *server) badAppendStore() {
+	b := bufPool.Get().(*buf)
+	s.ring = append(s.ring, b) // want `pooled value stored into field s\.ring`
+}
+
+// badGlobalStore parks it in a package variable.
+func badGlobalStore() {
+	leaked = bufPool.Get().(*buf) // want `pooled value stored into package variable leaked`
+}
+
+// badElementStore writes it into a caller-visible slice.
+func badElementStore(out []*buf) {
+	out[0] = bufPool.Get().(*buf) // want `pooled value stored into element out\[\.\.\.\]`
+}
+
+// badGoroutineCapture lets a spawned goroutine race the Put.
+func badGoroutineCapture() {
+	b := bufPool.Get().(*buf)
+	go func() {
+		b.b = nil // want `pooled value b captured by a spawned goroutine`
+	}()
+	bufPool.Put(b)
+}
+
+// badGoroutineArg hands it to a spawned function directly.
+func badGoroutineArg() {
+	b := bufPool.Get().(*buf)
+	go consume(b) // want `pooled value passed to a spawned goroutine`
+}
+
+func consume(b *buf) { b.b = nil }
+
+// goodLocalClosure runs on the same stack; not an escape.
+func goodLocalClosure() int {
+	b := bufPool.Get().(*buf)
+	n := func() int { return cap(b.b) }()
+	bufPool.Put(b)
+	return n
+}
+
+// allowedReturn documents a sanctioned handoff: the caller is
+// contractually obliged to Release() the value back to the pool.
+//
+//pphcr:allow poolescape caller owns the value and must hand it back via Release
+func allowedReturn() *buf {
+	b := bufPool.Get().(*buf)
+	return b
+}

@@ -1,0 +1,50 @@
+package suite_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pphcr/internal/analysis"
+	"pphcr/internal/analysis/suite"
+)
+
+// TestRepoClean runs the full pphcr-vet suite over the module and
+// requires zero findings — the same gate CI applies. A new true
+// positive must be fixed; a new intentional exception must carry a
+// //pphcr:allow with its reason.
+func TestRepoClean(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, suite.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -42,6 +42,8 @@ var tracePool = sync.Pool{New: func() interface{} { return new(Trace) }}
 // NewTrace fetches a pooled trace and stamps its start. Callers must
 // hand the trace to exactly one of Ring.Offer (which recycles it) or
 // ReleaseTrace.
+//
+//pphcr:allow poolescape ownership transfers to the caller, who must Offer or ReleaseTrace it back
 func NewTrace(op, user string) *Trace {
 	t := tracePool.Get().(*Trace)
 	t.Op = op

@@ -268,6 +268,8 @@ func (s *cacheCandidates) Gather(b *Batch) {
 // setFor returns the batch's candidate set for the instant, building it
 // on first use. Batches rarely span more than a handful of instants, so
 // the lookup is a linear scan.
+//
+//pphcr:allow poolescape batch-scoped arena: Release puts every set in b.sets back when the batch ends
 func (b *Batch) setFor(s *cacheCandidates, now time.Time) *candSet {
 	for _, set := range b.sets {
 		if set.now.Equal(now) {
@@ -349,6 +351,8 @@ func (s *indexRank) featurize(set *candSet, idx int32) *itemFeat {
 
 // prefsFor returns the batch's preference memo for (user, now),
 // reading and flattening the vector on first use.
+//
+//pphcr:allow poolescape batch-scoped arena: Release puts every memo in b.prefs back when the batch ends
 func (b *Batch) prefsFor(s *cacheCandidates, user string, now time.Time) *userPrefs {
 	key := prefsKey{user: user, now: now.UnixNano()}
 	if fp, ok := b.prefs[key]; ok {
@@ -454,6 +458,7 @@ func (s *indexRank) Rank(b *Batch, t *Task) {
 		if bp == nil {
 			bp = new([]recommend.Scored)
 		}
+		//pphcr:allow poolescape task-scoped buffer: the Allocate stage puts rankedBuf back after consuming the ranking
 		t.rankedBuf = bp
 		out = (*bp)[:0]
 	}

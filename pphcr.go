@@ -671,6 +671,7 @@ func (s *System) compactTracking(userID string, n int) (*tracking.CompactModel, 
 	}
 	sh.mobility[userID] = cm
 	sh.compactN[userID] = n
+	//pphcr:allow mutateemit callers hold the user's barrier stripe (read side), per this function's contract
 	err = s.emit(idx, durable.TypeCompact, compactEvent{User: userID, N: n})
 	sh.mu.Unlock()
 	// The model is installed whether or not the WAL append succeeded,
