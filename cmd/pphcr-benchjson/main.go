@@ -42,6 +42,9 @@ type Benchmark struct {
 	// P99NsPerOp carries the custom p99-ns/op metric the tail-latency
 	// benchmarks report via b.ReportMetric.
 	P99NsPerOp float64 `json:"p99_ns_per_op,omitempty"`
+	// RecallAtK carries the custom recall-at-k metric the ANN retrieval
+	// benchmark reports via b.ReportMetric.
+	RecallAtK float64 `json:"recall_at_k,omitempty"`
 }
 
 // Output is the JSON document shape.
@@ -56,6 +59,7 @@ var (
 	bytesPerOp = regexp.MustCompile(`([\d.]+) B/op`)
 	allocsOp   = regexp.MustCompile(`([\d.]+) allocs/op`)
 	p99Metric  = regexp.MustCompile(`([\d.]+) p99-ns/op`)
+	recMetric  = regexp.MustCompile(`([\d.]+) recall-at-k`)
 )
 
 // highlightNames maps benchmark base names to the headline keys the
@@ -74,6 +78,8 @@ var highlightNames = map[string]string{
 	"BenchmarkSkipReplacement/topk":     "skip_topk_ns",
 	"BenchmarkWALAppend":                "wal_append_ns",
 	"BenchmarkRecoveryReplay":           "recovery_replay_ns",
+	"BenchmarkCandidateExact":           "candidate_exact_ns",
+	"BenchmarkCandidateANN":             "candidate_ann_ns",
 }
 
 // p99HighlightNames maps benchmark base names to the tail-latency
@@ -104,6 +110,9 @@ var gatedHighlights = map[string]bool{ // name -> lowerIsBetter
 	"skip_topk_speedup_x":      false,
 	"preferences_speedup_x":    false,
 	"recovery_events_per_sec":  false,
+	"candidate_ann_ns":         true,
+	"ann_speedup_x":            false,
+	"ann_recall_at_k":          false,
 }
 
 // gate compares this run's highlights against the baseline document and
@@ -175,6 +184,9 @@ func main() {
 		if pm := p99Metric.FindStringSubmatch(m[4]); pm != nil {
 			b.P99NsPerOp, _ = strconv.ParseFloat(pm[1], 64)
 		}
+		if rm := recMetric.FindStringSubmatch(m[4]); rm != nil {
+			b.RecallAtK, _ = strconv.ParseFloat(rm[1], 64)
+		}
 		// Keep-last dedupe: a stabilization pass re-running headline
 		// benchmarks at a longer benchtime can be concatenated after the
 		// 1x sweep and its (better-sampled) numbers win.
@@ -194,6 +206,9 @@ func main() {
 		}
 		if key, ok := p99HighlightNames[b.Name]; ok && b.P99NsPerOp > 0 {
 			out.Highlights[key] = b.P99NsPerOp
+		}
+		if b.Name == "BenchmarkCandidateANN" && b.RecallAtK > 0 {
+			out.Highlights["ann_recall_at_k"] = b.RecallAtK
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -228,6 +243,14 @@ func main() {
 	// throughput the ISSUE tracks.
 	if replay, ok := out.Highlights["recovery_replay_ns"]; ok && replay > 0 {
 		out.Highlights["recovery_events_per_sec"] = 1e9 / replay
+	}
+	// Retrieval headline (ISSUE 8): how much faster the HNSW Candidates
+	// stage answers a full Recommend than the exact window scan, over the
+	// same catalog and users.
+	if exact, ok := out.Highlights["candidate_exact_ns"]; ok {
+		if ann, ok := out.Highlights["candidate_ann_ns"]; ok && ann > 0 {
+			out.Highlights["ann_speedup_x"] = exact / ann
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

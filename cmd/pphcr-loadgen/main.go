@@ -85,6 +85,9 @@ func main() {
 		walSync    = flag.String("wal-sync", "interval", "WAL fsync policy for -restart/-contended: always, interval or none")
 		contended  = flag.Bool("contended", false, "run the contended write workload: -workers goroutines hammering -contended-users users through the WAL, reporting barrier-stripe contention and group-commit batch size")
 		contUsers  = flag.Int("contended-users", 4, "user population of the -contended workload (U ≪ workers)")
+		annOn      = flag.Bool("ann", false, "run the planning mix with embedding-based candidate retrieval (HNSW) instead of the exact window scan")
+		annRetr    = flag.Int("ann-retrieve", 256, "ANN candidates fetched per query when -ann is set")
+		annProbe   = flag.Int("ann-probe-every", 200, "sample every Nth ANN retrieval with a recall probe when -ann is set")
 	)
 	flag.Parse()
 
@@ -102,10 +105,13 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := pphcr.Config{
-		TrainingDocs: w.Training,
-		Vocabulary:   w.FlatVocab,
-		Seed:         *seed,
-		UserShards:   *userShards,
+		TrainingDocs:  w.Training,
+		Vocabulary:    w.FlatVocab,
+		Seed:          *seed,
+		UserShards:    *userShards,
+		ANNCandidates: *annOn,
+		ANNRetrieve:   *annRetr,
+		ANNProbeEvery: *annProbe,
 	}
 	sys, err := pphcr.New(cfg)
 	if err != nil {
@@ -344,6 +350,12 @@ func main() {
 	} {
 		fmt.Printf("  %-10s count=%-8d p50=%8.1fµs p95=%8.1fµs p99=%8.1fµs max=%8.1fµs\n",
 			row.name, row.st.Count, row.st.P50Micros, row.st.P95Micros, row.st.P99Micros, row.st.MaxMicros)
+	}
+	if rs, ix, ok := sys.RetrievalStats(); ok {
+		fmt.Printf("\nann retrieval: index_items=%d searches=%d (brute=%d) retrieved=%d resolved=%d\n",
+			ix.Items, ix.Searches, ix.Brute, rs.Retrieved, rs.Resolved)
+		fmt.Printf("  search p50=%.1fµs p95=%.1fµs p99=%.1fµs  recall@k=%.4f (%d probes)\n",
+			rs.Search.P50Micros, rs.Search.P95Micros, rs.Search.P99Micros, ix.RecallAtK, ix.Probes)
 	}
 	fmt.Printf("\nlocks: shards=%d ops=%d contended=%d (%.3f%%)\n",
 		lock.Shards, lock.Ops, lock.Contended, 100*pct(lock.Contended, lock.Ops))

@@ -1,0 +1,468 @@
+// Package ann provides the pure-Go approximate-nearest-neighbour index
+// behind sublinear candidate retrieval (ROADMAP item 4): an HNSW graph
+// (Malkov & Yashunin) over int8-quantized item embeddings. Inserts
+// happen on content ingest beside the spatial R-tree; searches run on
+// the plan path under a read lock.
+//
+// Approximation contract: when the index holds no more items than the
+// requested beam width (n <= max(ef, k)) Search degrades to an exact
+// brute-force scan, so small catalogs get byte-identical results to the
+// exact ranker. At scale, recall is tracked by sampled brute-force
+// probes (Config.ProbeEvery) and exported as a gauge.
+package ann
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pphcr/internal/content"
+	"pphcr/internal/embed"
+)
+
+// Config tunes the graph. Zero values select the defaults.
+type Config struct {
+	// M is the maximum number of links per node per layer (layer 0
+	// allows 2M). Default 16.
+	M int
+	// EfConstruction is the beam width used while inserting. Default 100.
+	EfConstruction int
+	// Seed perturbs the deterministic level assignment.
+	Seed int64
+	// ProbeEvery samples every Nth graph search with a brute-force
+	// recall probe (0 disables probing).
+	ProbeEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 100
+	}
+	return c
+}
+
+// Candidate is one search result.
+type Candidate struct {
+	ID    string
+	Score float32 // approximate cosine (higher is closer)
+}
+
+// maxLevelCap bounds the geometric level draw.
+const maxLevelCap = 30
+
+type node struct {
+	id    string
+	vec   embed.Quantized
+	links [][]int32 // links[l] = neighbour node indices at layer l
+}
+
+// Stats is a point-in-time snapshot of index counters.
+type Stats struct {
+	Items    int   `json:"items"`
+	MaxLevel int   `json:"max_level"`
+	Inserts  int64 `json:"inserts"`
+	Searches int64 `json:"searches"`
+	// Brute counts searches answered by the exact scan (small index).
+	Brute int64 `json:"brute"`
+	// Probes and RecallAtK report the sampled recall estimate: every
+	// ProbeEvery-th graph search is re-answered exactly and the overlap
+	// recorded. RecallAtK is 0 until the first probe fires.
+	Probes    int64   `json:"probes"`
+	RecallAtK float64 `json:"recall_at_k"`
+}
+
+// Index is the concurrent HNSW index. Inserts take the write lock;
+// searches share the read lock.
+type Index struct {
+	// mu is the "vector-index lock", level 40 of the pphcr lock
+	// hierarchy (docs/analysis.md): it may be acquired while a store
+	// lock (level 30, e.g. content.Repository.mu) is held — ingest
+	// inserts under the repository lock — and nothing may be acquired
+	// under it. Index methods never call back into stores.
+	mu       sync.RWMutex
+	cfg      Config
+	mL       float64 // level-assignment multiplier 1/ln(M)
+	nodes    []node
+	byID     map[string]int32
+	entry    int32 // node index of the top-layer entry point, -1 if empty
+	maxLevel int
+
+	inserts    atomic.Int64
+	searches   atomic.Int64
+	brute      atomic.Int64
+	probes     atomic.Int64
+	recallHits atomic.Int64
+	recallWant atomic.Int64
+}
+
+// New returns an empty index.
+func New(cfg Config) *Index {
+	cfg = cfg.withDefaults()
+	return &Index{
+		cfg:   cfg,
+		mL:    1 / math.Log(float64(cfg.M)),
+		byID:  make(map[string]int32),
+		entry: -1,
+	}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// levelFor draws the node's top layer from the standard geometric
+// distribution — but deterministically, from a hash of the ID and the
+// seed, so rebuilding the index from the same catalog reproduces the
+// same layer structure regardless of wall clock or process.
+func (ix *Index) levelFor(id string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint64(id[i])) * 1099511628211
+	}
+	u := float64(splitmix64(h^uint64(ix.cfg.Seed))>>11) / float64(1<<53)
+	if u <= 0 {
+		u = 1 / float64(1<<53)
+	}
+	l := int(-math.Log(u) * ix.mL)
+	if l > maxLevelCap {
+		l = maxLevelCap
+	}
+	return l
+}
+
+// Insert embeds, quantizes and indexes a content item. Duplicate IDs
+// are ignored (the repository already rejects them upstream).
+func (ix *Index) Insert(it *content.Item) {
+	v := embed.ItemVector(it)
+	q := embed.Quantize(&v)
+	ix.InsertVector(it.ID, &q)
+}
+
+// InsertVector indexes a pre-quantized vector under id.
+func (ix *Index) InsertVector(id string, q *embed.Quantized) {
+	level := ix.levelFor(id)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, dup := ix.byID[id]; dup {
+		return
+	}
+	idx := int32(len(ix.nodes))
+	ix.nodes = append(ix.nodes, node{
+		id:    id,
+		vec:   *q,
+		links: make([][]int32, level+1),
+	})
+	ix.byID[id] = idx
+	ix.inserts.Add(1)
+	if ix.entry < 0 {
+		ix.entry = idx
+		ix.maxLevel = level
+		return
+	}
+
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.reset(len(ix.nodes))
+
+	ep := ix.entry
+	epScore := ix.score(q, ep)
+	// Greedy descent through the layers above the new node's top level.
+	for l := ix.maxLevel; l > level; l-- {
+		ep, epScore = ix.greedyStep(q, ep, epScore, l)
+	}
+	// Beam search + bidirectional linking on each shared layer.
+	top := level
+	if ix.maxLevel < top {
+		top = ix.maxLevel
+	}
+	for l := top; l >= 0; l-- {
+		ix.searchLayer(q, ep, epScore, ix.cfg.EfConstruction, l, sc)
+		neighbours := ix.selectNeighbours(sc.res, ix.cfg.M, sc)
+		ix.nodes[idx].links[l] = append(ix.nodes[idx].links[l], neighbours...)
+		maxLinks := ix.cfg.M
+		if l == 0 {
+			maxLinks = 2 * ix.cfg.M
+		}
+		for _, nb := range neighbours {
+			ix.nodes[nb].links[l] = append(ix.nodes[nb].links[l], idx)
+			if len(ix.nodes[nb].links[l]) > maxLinks {
+				ix.pruneLinks(nb, l, maxLinks, sc)
+			}
+		}
+		// Continue the descent from the best candidate found here.
+		if len(sc.res) > 0 {
+			best := sc.res[0]
+			for _, h := range sc.res[1:] {
+				if h.score > best.score {
+					best = h
+				}
+			}
+			ep, epScore = best.idx, best.score
+		}
+	}
+	if level > ix.maxLevel {
+		ix.maxLevel = level
+		ix.entry = idx
+	}
+}
+
+// score computes the quantized similarity between q and node i.
+func (ix *Index) score(q *embed.Quantized, i int32) float32 {
+	return q.Dot(&ix.nodes[i].vec)
+}
+
+// greedyStep hill-climbs within layer l until no neighbour improves.
+func (ix *Index) greedyStep(q *embed.Quantized, ep int32, epScore float32, l int) (int32, float32) {
+	for {
+		improved := false
+		links := ix.nodes[ep].links
+		if l < len(links) {
+			for _, nb := range links[l] {
+				if s := ix.score(q, nb); s > epScore {
+					ep, epScore = nb, s
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			return ep, epScore
+		}
+	}
+}
+
+// searchLayer runs the beam search at layer l, leaving up to ef results
+// in sc.res (a min-heap by score).
+func (ix *Index) searchLayer(q *embed.Quantized, ep int32, epScore float32, ef, l int, sc *scratch) {
+	sc.nextEpoch()
+	sc.visited[ep] = sc.epoch
+	sc.cand = sc.cand[:0]
+	sc.res = sc.res[:0]
+	pushMax(&sc.cand, heapItem{epScore, ep})
+	pushMin(&sc.res, heapItem{epScore, ep})
+	for len(sc.cand) > 0 {
+		c := popMax(&sc.cand)
+		if len(sc.res) >= ef && c.score < sc.res[0].score {
+			break
+		}
+		links := ix.nodes[c.idx].links
+		if l >= len(links) {
+			continue
+		}
+		for _, nb := range links[l] {
+			if sc.visited[nb] == sc.epoch {
+				continue
+			}
+			sc.visited[nb] = sc.epoch
+			s := ix.score(q, nb)
+			if len(sc.res) < ef {
+				pushMax(&sc.cand, heapItem{s, nb})
+				pushMin(&sc.res, heapItem{s, nb})
+			} else if s > sc.res[0].score {
+				pushMax(&sc.cand, heapItem{s, nb})
+				popMin(&sc.res)
+				pushMin(&sc.res, heapItem{s, nb})
+			}
+		}
+	}
+}
+
+// selectNeighbours applies the HNSW diversity heuristic (Malkov alg. 4)
+// to the beam results: a candidate is kept only if it is closer to the
+// query than to any already-kept neighbour, which preserves
+// connectivity between the category clusters the embeddings form.
+// Skipped candidates backfill remaining slots.
+func (ix *Index) selectNeighbours(res []heapItem, m int, sc *scratch) []int32 {
+	sc.order = append(sc.order[:0], res...)
+	sort.Slice(sc.order, func(i, j int) bool { return sc.order[i].score > sc.order[j].score })
+	kept := sc.kept[:0]
+	skipped := sc.skipped[:0]
+	for _, c := range sc.order {
+		if len(kept) >= m {
+			break
+		}
+		diverse := true
+		for _, s := range kept {
+			// sim(candidate, kept neighbour) >= sim(candidate, query)
+			// means the candidate is inside an already-covered cluster.
+			if ix.nodes[c.idx].vec.Dot(&ix.nodes[s].vec) > c.score {
+				diverse = false
+				break
+			}
+		}
+		if diverse {
+			kept = append(kept, c.idx)
+		} else {
+			skipped = append(skipped, c.idx)
+		}
+	}
+	for _, s := range skipped {
+		if len(kept) >= m {
+			break
+		}
+		kept = append(kept, s)
+	}
+	sc.kept = kept
+	sc.skipped = skipped
+	out := make([]int32, len(kept))
+	copy(out, kept)
+	return out
+}
+
+// pruneLinks re-selects node nb's layer-l links down to maxLinks using
+// the same diversity heuristic, from nb's own perspective.
+func (ix *Index) pruneLinks(nb int32, l, maxLinks int, sc *scratch) {
+	links := ix.nodes[nb].links[l]
+	cands := sc.prune[:0]
+	qv := &ix.nodes[nb].vec
+	for _, o := range links {
+		cands = append(cands, heapItem{qv.Dot(&ix.nodes[o].vec), o})
+	}
+	sc.prune = cands
+	ix.nodes[nb].links[l] = ix.selectNeighbours(cands, maxLinks, sc)
+}
+
+// Search returns the k most similar indexed items to q, scored by
+// quantized cosine, ordered by descending score (ties by ascending ID).
+// ef is the beam width (clamped to at least k). When the index holds no
+// more than max(ef, k) items the search is answered by an exact scan —
+// the degradation that makes small-catalog results identical to the
+// exact ranker.
+func (ix *Index) Search(q *embed.Quantized, k, ef int) []Candidate {
+	if k <= 0 {
+		return nil
+	}
+	if ef < k {
+		ef = k
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := len(ix.nodes)
+	if n == 0 {
+		return nil
+	}
+	ix.searches.Add(1)
+	if n <= ef {
+		ix.brute.Add(1)
+		return ix.bruteLocked(q, k, nil)
+	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.reset(n)
+
+	ep := ix.entry
+	epScore := ix.score(q, ep)
+	for l := ix.maxLevel; l > 0; l-- {
+		ep, epScore = ix.greedyStep(q, ep, epScore, l)
+	}
+	ix.searchLayer(q, ep, epScore, ef, 0, sc)
+	out := make([]Candidate, 0, k)
+	sort.Slice(sc.res, func(i, j int) bool {
+		a, b := sc.res[i], sc.res[j]
+		if a.score != b.score {
+			return a.score > b.score
+		}
+		return ix.nodes[a.idx].id < ix.nodes[b.idx].id
+	})
+	for _, h := range sc.res {
+		if len(out) == k {
+			break
+		}
+		out = append(out, Candidate{ID: ix.nodes[h.idx].id, Score: h.score})
+	}
+	if p := ix.cfg.ProbeEvery; p > 0 && ix.searches.Load()%int64(p) == 0 {
+		ix.probeLocked(q, out)
+	}
+	return out
+}
+
+// BruteSearch answers the query with an exact scan — the oracle the
+// recall probes and tests compare against.
+func (ix *Index) BruteSearch(q *embed.Quantized, k int) []Candidate {
+	if k <= 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.bruteLocked(q, k, nil)
+}
+
+func (ix *Index) bruteLocked(q *embed.Quantized, k int, scores []Candidate) []Candidate {
+	for i := range ix.nodes {
+		scores = append(scores, Candidate{ID: ix.nodes[i].id, Score: q.Dot(&ix.nodes[i].vec)})
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].Score != scores[j].Score {
+			return scores[i].Score > scores[j].Score
+		}
+		return scores[i].ID < scores[j].ID
+	})
+	if len(scores) > k {
+		scores = scores[:k]
+	}
+	return scores
+}
+
+// probeLocked re-answers a sampled graph search exactly and records the
+// overlap, feeding the recall_at_k gauge.
+func (ix *Index) probeLocked(q *embed.Quantized, got []Candidate) {
+	exact := ix.bruteLocked(q, len(got), nil)
+	hits := 0
+	in := make(map[string]bool, len(got))
+	for _, c := range got {
+		in[c.ID] = true
+	}
+	for _, c := range exact {
+		if in[c.ID] {
+			hits++
+		}
+	}
+	ix.probes.Add(1)
+	ix.recallHits.Add(int64(hits))
+	ix.recallWant.Add(int64(len(exact)))
+}
+
+// Len returns the number of indexed items.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.nodes)
+}
+
+// IDs returns every indexed item ID in ascending order (test/oracle
+// support).
+func (ix *Index) IDs() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.nodes))
+	for i := range ix.nodes {
+		out = append(out, ix.nodes[i].id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns current counters and the sampled recall estimate.
+func (ix *Index) Snapshot() Stats {
+	ix.mu.RLock()
+	items, maxLevel := len(ix.nodes), ix.maxLevel
+	ix.mu.RUnlock()
+	s := Stats{
+		Items:    items,
+		MaxLevel: maxLevel,
+		Inserts:  ix.inserts.Load(),
+		Searches: ix.searches.Load(),
+		Brute:    ix.brute.Load(),
+		Probes:   ix.probes.Load(),
+	}
+	if want := ix.recallWant.Load(); want > 0 {
+		s.RecallAtK = float64(ix.recallHits.Load()) / float64(want)
+	}
+	return s
+}

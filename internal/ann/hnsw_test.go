@@ -1,0 +1,253 @@
+package ann
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pphcr/internal/content"
+	"pphcr/internal/embed"
+)
+
+func randomQuantized(rng *rand.Rand) embed.Quantized {
+	var v embed.Vector
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	n := v.Norm()
+	for i := range v {
+		v[i] /= n
+	}
+	return embed.Quantize(&v)
+}
+
+// clusteredQuantized draws a vector near one of nClusters random
+// centres — the shape item embeddings actually have (category
+// clusters), and the hard case for graph connectivity.
+func clusteredQuantized(rng *rand.Rand, centres []embed.Vector) embed.Quantized {
+	c := centres[rng.Intn(len(centres))]
+	var v embed.Vector
+	for i := range v {
+		v[i] = c[i] + 0.15*float32(rng.NormFloat64())
+	}
+	n := v.Norm()
+	for i := range v {
+		v[i] /= n
+	}
+	return embed.Quantize(&v)
+}
+
+func makeCentres(rng *rand.Rand, n int) []embed.Vector {
+	out := make([]embed.Vector, n)
+	for i := range out {
+		var v embed.Vector
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		nrm := v.Norm()
+		for j := range v {
+			v[j] /= nrm
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestSmallIndexExact: with n <= ef the search must be byte-identical
+// to the brute-force oracle (the exact-degradation contract).
+func TestSmallIndexExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ix := New(Config{Seed: 1})
+	for i := 0; i < 50; i++ {
+		q := randomQuantized(rng)
+		ix.InsertVector(fmt.Sprintf("it-%03d", i), &q)
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := randomQuantized(rng)
+		got := ix.Search(&q, 10, 64) // ef 64 >= n 50 -> brute path
+		want := ix.BruteSearch(&q, 10)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: result %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+	if s := ix.Snapshot(); s.Brute != s.Searches || s.Searches == 0 {
+		t.Fatalf("expected all searches brute at small n: %+v", s)
+	}
+}
+
+// TestRecallAcrossSeeds: the recall@k property test — across index
+// seeds and both uniform and clustered data, graph search must find at
+// least 95%% of the exact top-k.
+func TestRecallAcrossSeeds(t *testing.T) {
+	const (
+		n       = 4000
+		k       = 10
+		ef      = 128
+		queries = 60
+	)
+	for _, seed := range []int64{1, 42, 1337} {
+		for _, shape := range []string{"uniform", "clustered"} {
+			t.Run(fmt.Sprintf("seed%d-%s", seed, shape), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				centres := makeCentres(rng, 25)
+				draw := func() embed.Quantized {
+					if shape == "clustered" {
+						return clusteredQuantized(rng, centres)
+					}
+					return randomQuantized(rng)
+				}
+				ix := New(Config{Seed: seed})
+				for i := 0; i < n; i++ {
+					q := draw()
+					ix.InsertVector(fmt.Sprintf("it-%05d", i), &q)
+				}
+				hits, want := 0, 0
+				for qi := 0; qi < queries; qi++ {
+					q := draw()
+					got := ix.Search(&q, k, ef)
+					exact := ix.BruteSearch(&q, k)
+					in := map[string]bool{}
+					for _, c := range got {
+						in[c.ID] = true
+					}
+					for _, c := range exact {
+						if in[c.ID] {
+							hits++
+						}
+					}
+					want += len(exact)
+				}
+				recall := float64(hits) / float64(want)
+				t.Logf("recall@%d = %.4f (%d/%d)", k, recall, hits, want)
+				if recall < 0.95 {
+					t.Fatalf("recall@%d = %.4f < 0.95", k, recall)
+				}
+			})
+		}
+	}
+}
+
+// TestDeterministicRebuild: rebuilding from the same insert sequence
+// must reproduce identical search results (levels are hash-derived, not
+// clock- or RNG-state-derived).
+func TestDeterministicRebuild(t *testing.T) {
+	build := func() *Index {
+		rng := rand.New(rand.NewSource(9))
+		ix := New(Config{Seed: 9})
+		for i := 0; i < 1000; i++ {
+			q := randomQuantized(rng)
+			ix.InsertVector(fmt.Sprintf("it-%04d", i), &q)
+		}
+		return ix
+	}
+	a, b := build(), build()
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 10; trial++ {
+		q := randomQuantized(rng)
+		ra := a.Search(&q, 10, 50)
+		rb := b.Search(&q, 10, 50)
+		if len(ra) != len(rb) {
+			t.Fatalf("trial %d: result lengths differ", trial)
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("trial %d: result %d differs: %+v vs %+v", trial, i, ra[i], rb[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentInsertSearch hammers inserts and searches from
+// concurrent goroutines — run under -race this is the data-race proof
+// for the RWMutex'd index.
+func TestConcurrentInsertSearch(t *testing.T) {
+	ix := New(Config{Seed: 3, ProbeEvery: 50})
+	var wg sync.WaitGroup
+	const writers, readers, perWriter = 4, 4, 300
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				q := randomQuantized(rng)
+				ix.InsertVector(fmt.Sprintf("w%d-%04d", w, i), &q)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for i := 0; i < 400; i++ {
+				q := randomQuantized(rng)
+				res := ix.Search(&q, 5, 40)
+				for j := 1; j < len(res); j++ {
+					if res[j].Score > res[j-1].Score {
+						t.Errorf("unsorted result at %d", j)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if got := ix.Len(); got != writers*perWriter {
+		t.Fatalf("index has %d items, want %d", got, writers*perWriter)
+	}
+	if s := ix.Snapshot(); s.Probes > 0 && (s.RecallAtK < 0 || s.RecallAtK > 1) {
+		t.Fatalf("recall estimate out of range: %+v", s)
+	}
+}
+
+// TestInsertFromItem covers the content.Item entry point and duplicate
+// tolerance.
+func TestInsertFromItem(t *testing.T) {
+	ix := New(Config{})
+	it := &content.Item{
+		ID:         "pod-1",
+		Program:    "gr1",
+		Kind:       content.KindClip,
+		Categories: map[string]float64{"music": 0.6, "culture": 0.4},
+	}
+	ix.Insert(it)
+	ix.Insert(it) // duplicate: ignored
+	if ix.Len() != 1 {
+		t.Fatalf("len %d after duplicate insert, want 1", ix.Len())
+	}
+	v := embed.ItemVector(it)
+	q := embed.Quantize(&v)
+	res := ix.Search(&q, 1, 10)
+	if len(res) != 1 || res[0].ID != "pod-1" {
+		t.Fatalf("self-query returned %+v", res)
+	}
+	if res[0].Score < 0.98 {
+		t.Fatalf("self-similarity %v, want ~1", res[0].Score)
+	}
+}
+
+func BenchmarkSearch10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	centres := makeCentres(rng, 30)
+	ix := New(Config{Seed: 2})
+	for i := 0; i < 10000; i++ {
+		q := clusteredQuantized(rng, centres)
+		ix.InsertVector(fmt.Sprintf("it-%05d", i), &q)
+	}
+	queries := make([]embed.Quantized, 64)
+	for i := range queries {
+		queries[i] = clusteredQuantized(rng, centres)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(&queries[i%len(queries)], 10, 64)
+	}
+}

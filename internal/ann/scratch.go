@@ -1,0 +1,134 @@
+package ann
+
+import (
+	"math"
+	"sync"
+)
+
+// heapItem pairs a similarity score with a node index.
+type heapItem struct {
+	score float32
+	idx   int32
+}
+
+// scratch holds the per-operation working set: the epoch-marked visited
+// array plus the candidate (max) and result (min) heaps. Searches run
+// concurrently under the read lock, so each borrows its own scratch
+// from a pool instead of sharing index-owned buffers.
+type scratch struct {
+	visited []int32
+	epoch   int32
+	cand    []heapItem // max-heap: pop the best candidate to expand
+	res     []heapItem // min-heap: evict the worst result past ef
+	order   []heapItem // selectNeighbours sort buffer
+	prune   []heapItem // pruneLinks candidate buffer
+	kept    []int32
+	skipped []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+// reset sizes the visited array for n nodes without clearing it (epoch
+// marking makes stale entries harmless).
+func (s *scratch) reset(n int) {
+	if len(s.visited) < n {
+		grown := make([]int32, n)
+		copy(grown, s.visited)
+		s.visited = grown
+	}
+}
+
+func (s *scratch) nextEpoch() {
+	if s.epoch == math.MaxInt32 {
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.epoch = 0
+	}
+	s.epoch++
+}
+
+// pushMax / popMax: binary max-heap by score.
+
+func pushMax(h *[]heapItem, it heapItem) {
+	*h = append(*h, it)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p].score >= a[i].score {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+}
+
+func popMax(h *[]heapItem) heapItem {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a = a[:n]
+	*h = a
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && a[l].score > a[big].score {
+			big = l
+		}
+		if r < n && a[r].score > a[big].score {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		a[i], a[big] = a[big], a[i]
+		i = big
+	}
+	return top
+}
+
+// pushMin / popMin: binary min-heap by score (h[0] is the worst kept
+// result).
+
+func pushMin(h *[]heapItem, it heapItem) {
+	*h = append(*h, it)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p].score <= a[i].score {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+}
+
+func popMin(h *[]heapItem) heapItem {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a = a[:n]
+	*h = a
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && a[l].score < a[small].score {
+			small = l
+		}
+		if r < n && a[r].score < a[small].score {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		a[i], a[small] = a[small], a[i]
+		i = small
+	}
+	return top
+}

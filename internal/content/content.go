@@ -110,10 +110,23 @@ func (it *Item) SizeBytes() int64 {
 	return int64(float64(kbps) * 1000 / 8 * it.Duration.Seconds())
 }
 
+// VectorIndex is the hook through which an embedding index (the ANN
+// retrieval path, internal/ann) tracks the catalog. It is satisfied by
+// *ann.Index; the indirection keeps content free of embedding imports.
+// Insert is called with the repository lock held, so implementations
+// must not call back into the Repository (lock hierarchy: store locks
+// at level 30 sit above the vector-index lock at level 40 —
+// docs/analysis.md).
+type VectorIndex interface {
+	Insert(it *Item)
+}
+
 // Repository is the thread-safe content store with the secondary indexes
 // the recommender needs: by ID, by top category, by publish time, and —
 // for geographically scoped items — an R-tree over their relevance
 // discs, so GeoItems answers point queries without scanning the table.
+// When a VectorIndex is attached, every item is additionally embedded
+// into it on Add, beside the R-tree.
 type Repository struct {
 	mu      sync.RWMutex
 	items   map[string]*Item
@@ -121,6 +134,23 @@ type Repository struct {
 	sorted  []string            // IDs ordered by Published asc
 	geoTree *spatial.RTree      // rects around geo discs -> geoIDs index
 	geoIDs  []string            // R-tree leaf id -> item ID
+	vecIx   VectorIndex         // optional ANN mirror of the catalog
+}
+
+// SetVectorIndex attaches (or detaches, with nil) the embedding index.
+// Items already in the repository are backfilled, so attachment order
+// relative to Restore does not matter. Holding the write lock while
+// backfilling keeps the "item visible implies item indexed" invariant.
+func (r *Repository) SetVectorIndex(ix VectorIndex) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.vecIx = ix
+	if ix == nil {
+		return
+	}
+	for _, id := range r.sorted {
+		ix.Insert(r.items[id])
+	}
 }
 
 // NewRepository returns an empty repository.
@@ -164,6 +194,9 @@ func (r *Repository) Add(it *Item) error {
 	r.sorted = append(r.sorted, "")
 	copy(r.sorted[idx+1:], r.sorted[idx:])
 	r.sorted[idx] = it.ID
+	if r.vecIx != nil {
+		r.vecIx.Insert(it)
+	}
 	return nil
 }
 

@@ -1,0 +1,235 @@
+// Package embed produces the dense item vectors behind the ANN
+// candidate-retrieval path (ROADMAP item 4). Real deployments would use
+// deep audio fingerprints (Langer et al., PAPERS.md); this repo has no
+// audio, so the "fingerprint" is synthesized deterministically from the
+// item's category distribution plus a per-item metadata hash. The
+// construction is chosen so that geometry is preserved exactly where it
+// matters: the 30 editorial categories map to a fixed orthonormal basis
+// of R^Dim, which makes the embedding dot product of two unit vectors
+// equal the category-space cosine up to the (small, configurable)
+// fingerprint perturbation. That gives the ANN index something honest to
+// approximate while keeping recall-vs-exact testable and reproducible.
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"pphcr/internal/content"
+)
+
+// Dim is the embedding dimensionality. 64 keeps vectors cache-friendly
+// (one int8-quantized vector fits in a cache line) while leaving room
+// for the 30-category orthonormal basis plus hashed out-of-taxonomy
+// directions.
+const Dim = 64
+
+// FingerprintWeight is the relative weight of the per-item metadata
+// perturbation mixed into every item vector. It models per-item audio
+// individuality: two items with identical category distributions get
+// distinct (but close) vectors. Cosines are distorted by at most ~2x
+// this value.
+const FingerprintWeight = 0.02
+
+// basisSeed pins the pseudo-random draws behind the category basis and
+// the hashed directions; changing it changes every embedding, so it is
+// part of the on-disk compatibility story (the index itself is derived
+// state and rebuilds on restore, so a bump only costs a rebuild).
+const basisSeed = 0x70706863727631 // "pphcrv1"
+
+// Vector is a dense float32 embedding.
+type Vector [Dim]float32
+
+// splitmix64 is the stateless PRNG behind all deterministic draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// drawUnit fills dst with a deterministic pseudo-random direction for
+// seed: i.i.d. uniform [-1,1) components, not normalized (callers
+// normalize after combining).
+func drawUnit(dst *[Dim]float64, seed uint64) {
+	state := splitmix64(seed ^ basisSeed)
+	for i := range dst {
+		state = splitmix64(state)
+		// Top 53 bits -> uniform [0,1) -> [-1,1).
+		dst[i] = float64(state>>11)/float64(1<<53)*2 - 1
+	}
+}
+
+// categoryBasis maps each of the 30 editorial categories to an
+// orthonormal vector, built once at init by Gram-Schmidt over
+// deterministic pseudo-random draws (order = content.Categories, so the
+// basis is stable across runs and builds). Orthonormality means
+// dot(itemVec, queryVec) reproduces the category-space inner product
+// exactly for in-taxonomy weights — the ANN path then approximates only
+// the search, not the similarity.
+var categoryBasis = func() map[string]*[Dim]float64 {
+	m := make(map[string]*[Dim]float64, len(content.Categories))
+	done := make([]*[Dim]float64, 0, len(content.Categories))
+	for ci, cat := range content.Categories {
+		v := new([Dim]float64)
+		drawUnit(v, uint64(ci)*0x1000193+1)
+		// Project out the span of the previous vectors.
+		for _, p := range done {
+			var d float64
+			for i := range v {
+				d += v[i] * p[i]
+			}
+			for i := range v {
+				v[i] -= d * p[i]
+			}
+		}
+		var n float64
+		for i := range v {
+			n += v[i] * v[i]
+		}
+		n = math.Sqrt(n)
+		for i := range v {
+			v[i] /= n
+		}
+		m[cat] = v
+		done = append(done, v)
+	}
+	return m
+}()
+
+// axpyHashed adds w times the hashed (non-orthogonal, best-effort)
+// direction for an out-of-taxonomy key.
+func axpyHashed(acc *[Dim]float64, w float64, key string) {
+	var dir [Dim]float64
+	drawUnit(&dir, hash64(key))
+	var n float64
+	for i := range dir {
+		n += dir[i] * dir[i]
+	}
+	n = math.Sqrt(n)
+	for i := range acc {
+		acc[i] += w * dir[i] / n
+	}
+}
+
+// project accumulates the category-weighted basis combination into acc.
+// Iteration is in fixed taxonomy order (then sorted order for unknown
+// keys) so float summation order — and therefore the resulting vector —
+// is byte-for-byte deterministic regardless of map iteration order.
+func project(acc *[Dim]float64, weights map[string]float64) {
+	var extra []string
+	for _, cat := range content.Categories {
+		w, ok := weights[cat]
+		if !ok || w == 0 {
+			continue
+		}
+		b := categoryBasis[cat]
+		for i := range acc {
+			acc[i] += w * b[i]
+		}
+	}
+	for k, w := range weights {
+		if w == 0 {
+			continue
+		}
+		if _, known := categoryBasis[k]; !known {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	for _, k := range extra {
+		axpyHashed(acc, weights[k], "cat\x00"+k)
+	}
+}
+
+func normalize(acc *[Dim]float64) (Vector, bool) {
+	var n float64
+	for i := range acc {
+		n += acc[i] * acc[i]
+	}
+	if n == 0 {
+		return Vector{}, false
+	}
+	n = math.Sqrt(n)
+	var out Vector
+	for i := range acc {
+		out[i] = float32(acc[i] / n)
+	}
+	return out, true
+}
+
+// ItemVector returns the unit-norm synthetic fingerprint for an item:
+// the orthonormal projection of its category distribution plus a
+// FingerprintWeight-scaled perturbation seeded from the item's identity
+// metadata (ID, program, kind). Deterministic for a given item.
+func ItemVector(it *content.Item) Vector {
+	var acc [Dim]float64
+	project(&acc, it.Categories)
+	var catNorm float64
+	for i := range acc {
+		catNorm += acc[i] * acc[i]
+	}
+	catNorm = math.Sqrt(catNorm)
+	if catNorm == 0 {
+		catNorm = 1 // uncategorized: fingerprint carries the whole vector
+	}
+	axpyHashed(&acc, FingerprintWeight*catNorm, "fp\x00"+it.ID+"\x00"+it.Program+"\x00"+it.Kind.String())
+	v, _ := normalize(&acc)
+	return v
+}
+
+// QueryVector projects a user preference distribution into embedding
+// space with the same basis as ItemVector, so dot(item, query) tracks
+// the exact ranker's category cosine. ok is false when the preferences
+// are empty or all-zero (no meaningful query direction exists).
+func QueryVector(prefs map[string]float64) (Vector, bool) {
+	var acc [Dim]float64
+	project(&acc, prefs)
+	return normalize(&acc)
+}
+
+// Dot32 is the float32 reference dot kernel, 4-wide unrolled to match
+// the shape of the quantized kernel (and to give the compiler four
+// independent accumulator chains).
+func Dot32(a, b *Vector) float32 {
+	var s0, s1, s2, s3 float32
+	for i := 0; i < Dim; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// Norm returns the L2 norm of v.
+func (v *Vector) Norm() float32 {
+	d := Dot32(v, v)
+	return float32(math.Sqrt(float64(d)))
+}
+
+// Cosine32 is the float32 reference cosine kernel; zero vectors score 0.
+func Cosine32(a, b *Vector) float32 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot32(a, b) / (na * nb)
+}
+
+// IsZero reports whether v is the zero vector.
+func (v *Vector) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,260 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pphcr/internal/content"
+)
+
+// oracleDot is the float64 oracle both kernels are tested against.
+func oracleDot(a, b *Vector) float64 {
+	var s float64
+	for i := 0; i < Dim; i++ {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+func randomVector(rng *rand.Rand) Vector {
+	var v Vector
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	n := v.Norm()
+	for i := range v {
+		v[i] /= n
+	}
+	return v
+}
+
+func TestCategoryBasisOrthonormal(t *testing.T) {
+	for i, a := range content.Categories {
+		va := categoryBasis[a]
+		var n float64
+		for k := range va {
+			n += va[k] * va[k]
+		}
+		if math.Abs(math.Sqrt(n)-1) > 1e-9 {
+			t.Fatalf("basis[%s] norm %v, want 1", a, math.Sqrt(n))
+		}
+		for _, b := range content.Categories[i+1:] {
+			vb := categoryBasis[b]
+			var d float64
+			for k := range va {
+				d += va[k] * vb[k]
+			}
+			if math.Abs(d) > 1e-9 {
+				t.Fatalf("basis[%s].basis[%s] = %v, want 0", a, b, d)
+			}
+		}
+	}
+}
+
+// TestEmbeddingPreservesCategoryCosine: because the taxonomy basis is
+// orthonormal, the embedding dot of two unit vectors must equal the
+// category-space cosine up to the fingerprint perturbation.
+func TestEmbeddingPreservesCategoryCosine(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		a := randomItem(rng, trial*2)
+		b := randomItem(rng, trial*2+1)
+		va, vb := ItemVector(a), ItemVector(b)
+		got := float64(Dot32(&va, &vb))
+		want := categoryCosine(a.Categories, b.Categories)
+		if diff := math.Abs(got - want); diff > 3*FingerprintWeight {
+			t.Fatalf("trial %d: embedding dot %v vs category cosine %v (diff %v)",
+				trial, got, want, diff)
+		}
+	}
+}
+
+func categoryCosine(a, b map[string]float64) float64 {
+	var dot, na, nb float64
+	for c, w := range a {
+		na += w * w
+		if bw, ok := b[c]; ok {
+			dot += w * bw
+		}
+	}
+	for _, w := range b {
+		nb += w * w
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+func randomItem(rng *rand.Rand, n int) *content.Item {
+	cats := make(map[string]float64)
+	k := 1 + rng.Intn(4)
+	total := 0.0
+	for j := 0; j < k; j++ {
+		c := content.Categories[rng.Intn(len(content.Categories))]
+		w := 0.1 + rng.Float64()
+		cats[c] += w
+		total += w
+	}
+	for c := range cats {
+		cats[c] /= total
+	}
+	return &content.Item{
+		ID:         "it-" + string(rune('a'+n%26)) + "-" + time.Unix(int64(n), 0).UTC().Format("150405"),
+		Program:    "prog",
+		Kind:       content.KindClip,
+		Duration:   time.Minute,
+		Categories: cats,
+	}
+}
+
+func TestItemVectorDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	it := randomItem(rng, 0)
+	v1, v2 := ItemVector(it), ItemVector(it)
+	if v1 != v2 {
+		t.Fatal("ItemVector not deterministic")
+	}
+	if math.Abs(float64(v1.Norm())-1) > 1e-5 {
+		t.Fatalf("item vector norm %v, want 1", v1.Norm())
+	}
+	// Same categories, different identity metadata -> close but distinct.
+	other := *it
+	other.ID = it.ID + "-sibling"
+	v3 := ItemVector(&other)
+	if v3 == v1 {
+		t.Fatal("distinct items produced identical fingerprints")
+	}
+	if d := Dot32(&v1, &v3); d < float32(1-4*FingerprintWeight) {
+		t.Fatalf("sibling items too far apart: dot %v", d)
+	}
+}
+
+func TestQueryVectorEmptyPrefs(t *testing.T) {
+	if _, ok := QueryVector(nil); ok {
+		t.Fatal("nil prefs produced a query vector")
+	}
+	if _, ok := QueryVector(map[string]float64{"music": 0}); ok {
+		t.Fatal("all-zero prefs produced a query vector")
+	}
+	v, ok := QueryVector(map[string]float64{"music": 0.7, "sport": 0.3})
+	if !ok {
+		t.Fatal("valid prefs rejected")
+	}
+	if math.Abs(float64(v.Norm())-1) > 1e-5 {
+		t.Fatalf("query vector norm %v, want 1", v.Norm())
+	}
+}
+
+// TestDot32MatchesOracle: the unrolled float32 kernel against the
+// float64 oracle within float32 rounding slack.
+func TestDot32MatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		a, b := randomVector(rng), randomVector(rng)
+		got := float64(Dot32(&a, &b))
+		want := oracleDot(&a, &b)
+		if math.Abs(got-want) > 1e-5 {
+			t.Fatalf("trial %d: Dot32 %v vs oracle %v", trial, got, want)
+		}
+	}
+}
+
+// TestDotI8Exact: the unrolled int8 kernel must agree bit-for-bit with
+// a scalar int64 oracle over the quantized codes (integer arithmetic —
+// no tolerance).
+func TestDotI8Exact(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 500; trial++ {
+		var a, b [Dim]int8
+		for i := 0; i < Dim; i++ {
+			a[i] = int8(rng.Intn(255) - 127)
+			b[i] = int8(rng.Intn(255) - 127)
+		}
+		var want int64
+		for i := 0; i < Dim; i++ {
+			want += int64(a[i]) * int64(b[i])
+		}
+		if got := DotI8(a[:], b[:]); int64(got) != want {
+			t.Fatalf("trial %d: DotI8 %d vs oracle %d", trial, got, want)
+		}
+	}
+	// Ragged lengths exercise the scalar tail.
+	for n := 0; n <= 9; n++ {
+		a := make([]int8, n)
+		b := make([]int8, n)
+		var want int64
+		for i := range a {
+			a[i] = int8(i*7 - 20)
+			b[i] = int8(30 - i*9)
+			want += int64(a[i]) * int64(b[i])
+		}
+		if got := DotI8(a, b); int64(got) != want {
+			t.Fatalf("len %d: DotI8 %d vs oracle %d", n, got, want)
+		}
+	}
+}
+
+// TestQuantizedDotErrorBound: the dequantized dot must sit within the
+// analytic error bound of the float64 oracle for every random pair.
+func TestQuantizedDotErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	maxRel := 0.0
+	for trial := 0; trial < 1000; trial++ {
+		a, b := randomVector(rng), randomVector(rng)
+		qa, qb := Quantize(&a), Quantize(&b)
+		got := float64(qa.Dot(&qb))
+		want := oracleDot(&a, &b)
+		bound := qa.DotErrorBound(&qb) + 1e-5 // + float32 kernel rounding
+		if diff := math.Abs(got - want); diff > bound {
+			t.Fatalf("trial %d: quantized dot %v vs oracle %v: |diff| %v > bound %v",
+				trial, got, want, diff, bound)
+		}
+		if r := math.Abs(got - want); r > maxRel {
+			maxRel = r
+		}
+	}
+	// The analytic bound is loose; observed error for unit vectors should
+	// be far tighter (sub-1% absolute). Guards against a silently
+	// mis-scaled kernel that still fits the loose bound.
+	if maxRel > 0.01 {
+		t.Fatalf("worst observed quantization error %v, want < 0.01", maxRel)
+	}
+}
+
+func TestQuantizeZeroVector(t *testing.T) {
+	var z Vector
+	q := Quantize(&z)
+	if q.Scale != 0 {
+		t.Fatalf("zero vector scale %v, want 0", q.Scale)
+	}
+	r := Quantize(&z)
+	if q.Dot(&r) != 0 {
+		t.Fatal("zero-vector dot not 0")
+	}
+}
+
+func BenchmarkDot32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := randomVector(rng), randomVector(rng)
+	b.ReportAllocs()
+	var acc float32
+	for i := 0; i < b.N; i++ {
+		acc += Dot32(&x, &y)
+	}
+	_ = acc
+}
+
+func BenchmarkDotI8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := randomVector(rng), randomVector(rng)
+	qx, qy := Quantize(&x), Quantize(&y)
+	b.ReportAllocs()
+	var acc float32
+	for i := 0; i < b.N; i++ {
+		acc += qx.Dot(&qy)
+	}
+	_ = acc
+}

@@ -356,6 +356,32 @@ func TestRequestUserContext(t *testing.T) {
 	}
 }
 
+// TestHistogramObserveZeroAlloc pins the zero-allocation contract of
+// the Observe hot path. (BENCH_pr6 recorded "9 allocs/op" for
+// BenchmarkHistogramObserve — that was the 1x-benchtime sweep dividing
+// RunParallel's goroutine setup by N=1, not a real regression; CI now
+// re-runs the benchmark at a pinned benchtime, and this guard fails the
+// suite if Observe itself ever allocates.)
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	var h Histogram
+	ns := int64(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.ObserveNs(ns)
+		ns = (ns*1664525 + 1013904223) % 50_000_000
+	})
+	if allocs != 0 {
+		t.Fatalf("ObserveNs allocates %.1f times per call, want 0", allocs)
+	}
+	var d time.Duration
+	allocs = testing.AllocsPerRun(1000, func() {
+		h.Observe(d)
+		d = (d*1664525 + 1013904223) % 50_000_000
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f times per call, want 0", allocs)
+	}
+}
+
 func BenchmarkHistogramObserve(b *testing.B) {
 	var h Histogram
 	b.ReportAllocs()

@@ -24,11 +24,18 @@ const NumStages = numStages
 var StageNames = [NumStages]string{"predict", "gate", "candidates", "rank", "allocate"}
 
 // metrics holds one lock-free histogram per stage; the request path
-// pays a bucket search plus three atomic adds per observation.
+// pays a bucket search plus three atomic adds per observation. The ANN
+// retrieval aggregates stay zero unless the embedding Candidates stage
+// is active.
 type metrics struct {
 	hist    [numStages]obs.Histogram
 	batches atomic.Int64
 	tasks   atomic.Int64
+
+	annSearch    obs.Histogram // per-query HNSW search latency
+	annSearches  atomic.Int64
+	annRetrieved atomic.Int64 // candidates returned by the index
+	annResolved  atomic.Int64 // candidates surviving resolve + window cut
 }
 
 // StageStats is one stage's latency aggregate. Predict, Gate, Rank and
@@ -87,3 +94,30 @@ func (p *Pipeline) Stats() Stats {
 // StageHistogram returns the histogram backing stage i, so the owner
 // can register it on a metrics endpoint.
 func (p *Pipeline) StageHistogram(i int) *obs.Histogram { return &p.m.hist[i] }
+
+// RetrievalStats aggregates the embedding-retrieval path: per-query
+// HNSW search latency and the retrieved/resolved candidate counters.
+// All-zero when the pipeline runs the exact Candidates stage.
+type RetrievalStats struct {
+	Search StageStats `json:"search"`
+	// Searches counts index queries; Retrieved and Resolved sum the
+	// candidates the index returned and those surviving ID resolution
+	// plus the publish-window cut.
+	Searches  int64 `json:"searches"`
+	Retrieved int64 `json:"retrieved"`
+	Resolved  int64 `json:"resolved"`
+}
+
+// Retrieval snapshots the ANN retrieval aggregates.
+func (p *Pipeline) Retrieval() RetrievalStats {
+	return RetrievalStats{
+		Search:    stageView(&p.m.annSearch),
+		Searches:  p.m.annSearches.Load(),
+		Retrieved: p.m.annRetrieved.Load(),
+		Resolved:  p.m.annResolved.Load(),
+	}
+}
+
+// ANNSearchHistogram exposes the per-query search histogram for metric
+// registration.
+func (p *Pipeline) ANNSearchHistogram() *obs.Histogram { return &p.m.annSearch }

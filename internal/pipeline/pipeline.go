@@ -25,6 +25,7 @@ package pipeline
 import (
 	"time"
 
+	"pphcr/internal/ann"
 	"pphcr/internal/content"
 	"pphcr/internal/core"
 	"pphcr/internal/distraction"
@@ -185,7 +186,25 @@ type Deps struct {
 	Planner *core.Planner
 	// Scorer computes the compound relevance.
 	Scorer *recommend.Scorer
+
+	// ANN, when non-nil, swaps the Candidates stage to embedding-based
+	// retrieval: candidates come from an HNSW search over item
+	// embeddings instead of the full publish-window scan (sublinear in
+	// catalog size at pinned recall).
+	ANN *ann.Index
+	// ANNRetrieve is how many candidates each query fetches before
+	// exact re-ranking (default 256). Small indexes degrade to exact
+	// retrieval of the whole catalog.
+	ANNRetrieve int
+	// ANNEf is the HNSW search beam width (default 2×ANNRetrieve).
+	ANNEf int
+	// ResolveItem maps a retrieved item ID back to the catalog item;
+	// required when ANN is set.
+	ResolveItem func(id string) (*content.Item, bool)
 }
+
+// Default ANN retrieval budget.
+const defaultANNRetrieve = 256
 
 // Pipeline composes the five stages. Fields may be replaced before
 // first use to substitute custom operators.
@@ -200,16 +219,32 @@ type Pipeline struct {
 }
 
 // New builds a pipeline with the default stage implementations, which
-// share one set of recycled buffers.
+// share one set of recycled buffers. When deps.ANN is set the
+// Candidates stage acquires candidates from the embedding index
+// instead of the publish-window scan; everything downstream is shared.
 func New(deps Deps) *Pipeline {
-	po := &pools{}
-	return &Pipeline{
-		Predict:    &mobilityPredict{deps: deps},
-		Gate:       &plannerGate{deps: deps},
-		Candidates: &cacheCandidates{deps: deps, po: po},
-		Rank:       &indexRank{deps: deps, po: po},
-		Allocate:   &plannerAllocate{deps: deps, po: po},
+	if deps.ANN != nil {
+		if deps.ANNRetrieve <= 0 {
+			deps.ANNRetrieve = defaultANNRetrieve
+		}
+		if deps.ANNEf <= 0 {
+			deps.ANNEf = 2 * deps.ANNRetrieve
+		}
 	}
+	po := &pools{}
+	p := &Pipeline{
+		Predict:  &mobilityPredict{deps: deps},
+		Gate:     &plannerGate{deps: deps},
+		Rank:     &indexRank{deps: deps, po: po},
+		Allocate: &plannerAllocate{deps: deps, po: po},
+	}
+	inner := &cacheCandidates{deps: deps, po: po}
+	if deps.ANN != nil {
+		p.Candidates = &annCandidates{inner: inner, deps: deps, po: po, m: &p.m}
+	} else {
+		p.Candidates = inner
+	}
+	return p
 }
 
 // Batch carries the shared state of one RunBatch call. Stage
@@ -219,6 +254,7 @@ type Batch struct {
 	Tasks []*Task
 
 	sets     []*candSet
+	annSets  map[prefsKey]*candSet
 	prefs    map[prefsKey]*userPrefs
 	matchBuf []int32
 }

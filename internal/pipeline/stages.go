@@ -11,6 +11,7 @@ import (
 	"pphcr/internal/content"
 	"pphcr/internal/core"
 	"pphcr/internal/distraction"
+	"pphcr/internal/embed"
 	"pphcr/internal/geo"
 	"pphcr/internal/plancache"
 	"pphcr/internal/predict"
@@ -200,11 +201,18 @@ func (s *candSet) cats(f *itemFeat) []catWeight {
 
 // userPrefs is the per-batch memo of one user's decayed preference
 // vector: the map (handed to the allocator), its sorted flat form and
-// the precomputed √norm of the user side of the cosine.
+// the precomputed √norm of the user side of the cosine. The ANN
+// Candidates stage additionally memoizes the quantized embedding of the
+// preference vector here, so batch plan execution shares one query
+// vector per (user, instant) across tasks.
 type userPrefs struct {
 	prefs  map[string]float64
 	flat   []catWeight
 	sqrtNa float64
+
+	q    embed.Quantized
+	qOK  bool // q encodes a meaningful direction (prefs non-empty)
+	qSet bool // q/qOK computed for the current prefs
 }
 
 // cacheCandidates is the default Candidates stage: warm-plan cache
@@ -232,37 +240,45 @@ func (s *cacheCandidates) Gather(b *Batch) {
 		if t.skip() {
 			continue
 		}
-		// Live fast path: a plan precomputed for this (user, destination,
-		// time bucket) is served as-is when it still fits the live ΔT and
-		// was computed near the request in *logical* time — callers drive
-		// the pipeline with simulated clocks, so the wall-clock TTL alone
-		// would happily serve a plan from a previous simulated day.
-		// Requests carrying a distraction timeline bypass the cache
-		// entirely — warm plans are scheduled without transition
-		// constraints.
-		if t.Mode == ModeLive && t.Timeline == nil && s.deps.Cache != nil {
-			if v, ok := s.deps.Cache.GetIf(t.CacheKey, func(v any) bool {
-				cp, ok := v.(CachedPlan)
-				if !ok {
-					return false
-				}
-				plan, at := cp.CachedPlan()
-				age := t.Now.Sub(at)
-				if age < 0 {
-					age = -age
-				}
-				return age <= s.deps.Cache.TTL() && planFits(plan, t.Prediction.DeltaT)
-			}); ok {
-				t.Plan, _ = v.(CachedPlan).CachedPlan()
-				t.Source = SourceWarm
-				t.done = true
-				continue
-			}
+		if s.tryServeWarm(t) {
+			continue
 		}
 		t.set = b.setFor(s, t.Now)
 		t.fp = b.prefsFor(s, t.User, t.Now)
 		t.prefs = t.fp.prefs
 	}
+}
+
+// tryServeWarm is the live fast path: a plan precomputed for this
+// (user, destination, time bucket) is served as-is when it still fits
+// the live ΔT and was computed near the request in *logical* time —
+// callers drive the pipeline with simulated clocks, so the wall-clock
+// TTL alone would happily serve a plan from a previous simulated day.
+// Requests carrying a distraction timeline bypass the cache entirely —
+// warm plans are scheduled without transition constraints.
+func (s *cacheCandidates) tryServeWarm(t *Task) bool {
+	if t.Mode != ModeLive || t.Timeline != nil || s.deps.Cache == nil {
+		return false
+	}
+	v, ok := s.deps.Cache.GetIf(t.CacheKey, func(v any) bool {
+		cp, ok := v.(CachedPlan)
+		if !ok {
+			return false
+		}
+		plan, at := cp.CachedPlan()
+		age := t.Now.Sub(at)
+		if age < 0 {
+			age = -age
+		}
+		return age <= s.deps.Cache.TTL() && planFits(plan, t.Prediction.DeltaT)
+	})
+	if !ok {
+		return false
+	}
+	t.Plan, _ = v.(CachedPlan).CachedPlan()
+	t.Source = SourceWarm
+	t.done = true
+	return true
 }
 
 // setFor returns the batch's candidate set for the instant, building it
@@ -291,6 +307,13 @@ func (b *Batch) setFor(s *cacheCandidates, now time.Time) *candSet {
 func (s *cacheCandidates) build(set *candSet, now time.Time) {
 	set.now = now
 	set.items = s.deps.AppendCandidates(set.items[:0], now.Add(-s.deps.CandidateWindow))
+	s.fill(set)
+}
+
+// fill featurizes set.items in place — the half of build shared with
+// the ANN Candidates stage, which acquires set.items from the vector
+// index instead of the publish-window scan.
+func (s *cacheCandidates) fill(set *candSet) {
 	set.catArena = set.catArena[:0]
 	if cap(set.feats) < len(set.items) {
 		set.feats = make([]itemFeat, len(set.items))
@@ -363,6 +386,7 @@ func (b *Batch) prefsFor(s *cacheCandidates, user string, now time.Time) *userPr
 		fp = &userPrefs{}
 	}
 	fp.prefs = s.deps.Preferences(user, now)
+	fp.qSet = false // invalidate the quantized-query memo for the new prefs
 	fp.flat = fp.flat[:0]
 	for cat, w := range fp.prefs {
 		fp.flat = append(fp.flat, catWeight{cat: cat, w: w})

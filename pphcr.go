@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pphcr/internal/ann"
 	"pphcr/internal/asr"
 	"pphcr/internal/broker"
 	"pphcr/internal/content"
@@ -76,6 +77,22 @@ type Config struct {
 	// (mobility models, pending injections, last plans). Rounded up to a
 	// power of two. Default DefaultUserShards (32).
 	UserShards int
+	// ANNCandidates enables embedding-based candidate retrieval: an
+	// HNSW index over quantized item embeddings is maintained on ingest
+	// (beside the R-tree) and the pipeline's Candidates stage queries it
+	// instead of scanning the publish window — sublinear in catalog size
+	// at pinned recall. The index is derived state: snapshots and WAL
+	// replay rebuild it through the ordinary Repository restore path.
+	ANNCandidates bool
+	// ANNRetrieve is the per-query candidate budget (default 256).
+	// Indexes no larger than the budget are retrieved exactly, making
+	// small-catalog plans byte-identical to the exact stage.
+	ANNRetrieve int
+	// ANNEf is the HNSW search beam width (default 2×ANNRetrieve).
+	ANNEf int
+	// ANNProbeEvery samples every Nth retrieval with a brute-force
+	// recall probe feeding the recall_at_k gauge (0 = off).
+	ANNProbeEvery int
 }
 
 // DefaultUserShards is the default stripe count of the per-user state.
@@ -238,6 +255,12 @@ type System struct {
 	ingest          *content.Pipeline
 	candidateWindow time.Duration
 
+	// annIndex is the embedding index behind the ANN Candidates stage;
+	// nil unless Config.ANNCandidates was set. It mirrors the Repo
+	// catalog (inserts happen inside Repository.Add) and rebuilds from
+	// it on restore/replay.
+	annIndex *ann.Index
+
 	// pipe is the staged planning pipeline (predict → gate → candidates →
 	// rank → allocate) every public entry point executes through.
 	pipe *pipeline.Pipeline
@@ -391,7 +414,7 @@ func New(cfg Config) (*System, error) {
 		s.shards[i].injected = make(map[string][]string)
 		s.shards[i].lastPlans = make(map[string]*TripPlan)
 	}
-	s.pipe = pipeline.New(pipeline.Deps{
+	deps := pipeline.Deps{
 		Mobility:         s.MobilityModel,
 		Preferences:      s.Preferences,
 		AppendCandidates: repo.AppendPublishedSince,
@@ -399,8 +422,37 @@ func New(cfg Config) (*System, error) {
 		Cache:            s.PlanCache,
 		Planner:          s.Planner,
 		Scorer:           scorer,
-	})
+	}
+	if cfg.ANNCandidates {
+		s.annIndex = ann.New(ann.Config{
+			Seed:       cfg.Seed,
+			ProbeEvery: cfg.ANNProbeEvery,
+		})
+		// Attached before any ingest or restore, so every item that ever
+		// enters the repository — live, snapshot-restored or WAL-replayed
+		// — is embedded and indexed by the same Add path.
+		repo.SetVectorIndex(s.annIndex)
+		deps.ANN = s.annIndex
+		deps.ANNRetrieve = cfg.ANNRetrieve
+		deps.ANNEf = cfg.ANNEf
+		deps.ResolveItem = repo.Get
+	}
+	s.pipe = pipeline.New(deps)
 	return s, nil
+}
+
+// ANNIndex returns the embedding index behind the ANN Candidates
+// stage, or nil when Config.ANNCandidates is off.
+func (s *System) ANNIndex() *ann.Index { return s.annIndex }
+
+// RetrievalStats snapshots the embedding-retrieval path (per-query
+// search latency, candidate counters, index size, sampled recall); ok
+// is false when ANN retrieval is disabled.
+func (s *System) RetrievalStats() (pipeline.RetrievalStats, ann.Stats, bool) {
+	if s.annIndex == nil {
+		return pipeline.RetrievalStats{}, ann.Stats{}, false
+	}
+	return s.pipe.Retrieval(), s.annIndex.Snapshot(), true
 }
 
 // PipelineStats snapshots the staged pipeline's per-stage latency and

@@ -1,0 +1,14 @@
+//go:build !race
+
+package pphcr
+
+// Retrieval-benchmark scale knobs (see retrieval_test.go). The full
+// 100k-item catalog and the 10× speedup floor apply in normal builds;
+// the race-instrumented build (CI's `go test -race`) scales the catalog
+// down so index construction stays tractable, and relaxes the floor
+// accordingly (the race runtime inflates the cheap ANN path far more
+// than the memory-bound exact scan).
+const (
+	retrievalCatalogSize  = 100_000
+	retrievalSpeedupFloor = 10.0
+)
