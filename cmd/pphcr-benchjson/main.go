@@ -113,6 +113,12 @@ var gatedHighlights = map[string]bool{ // name -> lowerIsBetter
 	"candidate_ann_ns":         true,
 	"ann_speedup_x":            false,
 	"ann_recall_at_k":          false,
+	// Scenario-engine tail highlights (ISSUE 9), merged via -scenario:
+	// the end-to-end plan p99 under city traffic and the flash-crowd
+	// cache re-warm time. Both are wall-clock tails from a live run, so
+	// CI gates them with its own (generous) -gate-factor invocation.
+	"scenario_plan_p99_ns":    true,
+	"flash_crowd_recovery_ms": true,
 }
 
 // gate compares this run's highlights against the baseline document and
@@ -156,9 +162,27 @@ func main() {
 		baseline   = flag.String("baseline", "", "previous BENCH_prN.json to gate this run's highlights against")
 		gateOn     = flag.Bool("gate", false, "exit 1 when a tier-1 highlight regresses beyond -gate-factor vs -baseline")
 		gateFactor = flag.Float64("gate-factor", 1.5, "regression factor the gate tolerates")
+		scenarioIn = flag.String("scenario", "", "pphcr-scenario report JSON whose highlights merge into this document")
 	)
 	flag.Parse()
 	out := Output{Highlights: map[string]float64{}}
+	if *scenarioIn != "" {
+		raw, err := os.ReadFile(*scenarioIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pphcr-benchjson: reading scenario report: %v\n", err)
+			os.Exit(1)
+		}
+		var rep struct {
+			Highlights map[string]float64 `json:"highlights"`
+		}
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "pphcr-benchjson: parsing scenario report: %v\n", err)
+			os.Exit(1)
+		}
+		for k, v := range rep.Highlights {
+			out.Highlights[k] = v
+		}
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	pkg := ""

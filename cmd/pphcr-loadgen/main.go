@@ -518,11 +518,32 @@ func runContended(workers, users, ops int, seed int64, walSync, dataDir string) 
 		}
 	}
 	fmt.Printf("barrier hot stripe: #%d (%d contended acquisitions)\n", hotIdx, hot)
+	// Quantiles for the waits themselves, not just counts: contention
+	// frequency and contention cost are different regressions — the same
+	// estimator as the main workload table (within one 1.25× bucket).
+	printWaitQuantiles("barrier acquire wait", sys.BarrierAcquireHistogram().Snapshot())
+	printWaitQuantiles("barrier quiesce wait", sys.BarrierQuiesceHistogram().Snapshot())
 	fmt.Printf("shards:  ops=%d contended=%d (%.3f%%)\n",
 		ls.Ops, ls.Contended, 100*pct(ls.Contended, ls.Ops))
 	fmt.Printf("wal: appended=%d group_commits=%d mean_batch=%.1f max_batch=%d fsyncs=%d\n",
 		ds.WAL.Appended, ds.WAL.GroupCommits, ds.WAL.MeanCommitBatch, ds.WAL.MaxCommitBatch, ds.WAL.Synced)
+	printWaitQuantiles("wal append (incl. group-commit wait)", dur.WALAppendHistogram().Snapshot())
+	printWaitQuantiles("wal fsync", dur.WALFsyncHistogram().Snapshot())
 	fmt.Printf("checkpoints: %d (last barrier pause %.0fµs)\n", ds.Checkpoints, ds.LastBarrierMicros)
+}
+
+// printWaitQuantiles renders one wait histogram's p50/p95/p99/max line
+// (skipped when it recorded nothing, e.g. quiesce without checkpoints).
+func printWaitQuantiles(name string, s obs.Snapshot) {
+	if s.Count == 0 {
+		return
+	}
+	fmt.Printf("  %-36s count=%-8d p50=%10v p95=%10v p99=%10v max=%10v\n",
+		name, s.Count,
+		time.Duration(s.Quantile(0.50)).Round(100*time.Nanosecond),
+		time.Duration(s.Quantile(0.95)).Round(100*time.Nanosecond),
+		time.Duration(s.Quantile(0.99)).Round(100*time.Nanosecond),
+		time.Duration(s.MaxNs).Round(100*time.Nanosecond))
 }
 
 // pickOp maps a uniform draw to an operation kind (the workload mix).

@@ -209,6 +209,9 @@ func main() {
 		// A sticky WAL error (wedge or terminal write failure) must eject
 		// the node from rotation: acknowledged writes are no longer durable.
 		api.SetReadinessCheck(dur.Healthy)
+		// Injected-slow-fsync mode is degradation, not death: the node
+		// keeps serving (200) but /readyz and pphcr_degraded flag it.
+		api.SetDegradedCheck(dur.Degraded)
 		reg := api.Registry()
 		reg.RegisterHistogram("pphcr_wal_append_duration_seconds",
 			"WAL append latency, including the group-commit ticket wait under sync=always.",

@@ -253,6 +253,22 @@ func (d *Durability) Recovered() bool { return d.recovered }
 // to turn a broken node 503 so a load balancer ejects it.
 func (d *Durability) Healthy() error { return d.wal.Err() }
 
+// SetFsyncDegraded injects (0 clears) a per-fsync stall into the WAL —
+// the degraded-disk fault mode scenario runs flip at phase boundaries.
+// Acked writes stay durable; only latency degrades.
+func (d *Durability) SetFsyncDegraded(stall time.Duration) { d.wal.SetFsyncDegraded(stall) }
+
+// Degraded reports partial degradation: non-nil while the WAL runs in
+// degraded-fsync mode. Distinct from Healthy — a degraded node still
+// accepts and persists writes (slowly), so /readyz reports it as
+// degraded rather than ejecting it, and the probe must not flap.
+func (d *Durability) Degraded() error {
+	if stall := d.wal.FsyncDegraded(); stall > 0 {
+		return fmt.Errorf("wal fsync degraded: injected %v stall per fsync", stall)
+	}
+	return nil
+}
+
 // PauseHistogram is the checkpoint write-path pause distribution, for
 // metrics-endpoint registration.
 func (d *Durability) PauseHistogram() *obs.Histogram { return &d.pauseHist }

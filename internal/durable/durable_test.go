@@ -555,3 +555,61 @@ func BenchmarkWALAppend(b *testing.B) {
 	// the mean.
 	b.ReportMetric(float64(w.AppendHistogram().Snapshot().Quantile(0.99)), "p99-ns/op")
 }
+
+// TestFsyncDegradedMode proves the degraded-disk fault injection: the
+// stall shows up in every fsync (and therefore in a SyncAlways append's
+// commit wait), the stats report the mode, records stay durable, and
+// clearing the stall restores the healthy path. Crucially the log's
+// Err() stays nil throughout — degraded is not dead.
+func TestFsyncDegradedMode(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	const stall = 5 * time.Millisecond
+	w.SetFsyncDegraded(stall)
+	if got := w.FsyncDegraded(); got != stall {
+		t.Fatalf("FsyncDegraded = %v, want %v", got, stall)
+	}
+	start := time.Now()
+	if err := w.Append(Event{Type: TypeFeedback, Payload: []byte(`{"a":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < stall {
+		t.Fatalf("degraded SyncAlways append returned in %v, want >= %v", elapsed, stall)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("degraded log reports dead: %v", err)
+	}
+	st := w.Stats()
+	if st.DegradedFsyncMillis != 5 {
+		t.Fatalf("DegradedFsyncMillis = %v, want 5", st.DegradedFsyncMillis)
+	}
+	if st.Fsync.P50Micros < float64(stall.Microseconds()) {
+		t.Fatalf("fsync p50 %vµs does not reflect the %v stall", st.Fsync.P50Micros, stall)
+	}
+
+	w.SetFsyncDegraded(0)
+	if w.FsyncDegraded() != 0 {
+		t.Fatal("stall not cleared")
+	}
+	if err := w.Append(Event{Type: TypeFeedback, Payload: []byte(`{"a":2}`)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both appends — degraded and healthy — replay back.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	st2, err := Replay(dir, 0, func(Event) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || st2.Events != 2 {
+		t.Fatalf("replayed %d events, want 2", n)
+	}
+}

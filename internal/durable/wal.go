@@ -259,6 +259,9 @@ type WALStats struct {
 	// flush+fsync pass distribution.
 	Append obs.Summary `json:"append"`
 	Fsync  obs.Summary `json:"fsync"`
+	// DegradedFsyncMillis is the injected per-fsync stall of the
+	// degraded-disk fault mode (0 = healthy).
+	DegradedFsyncMillis float64 `json:"degraded_fsync_millis,omitempty"`
 }
 
 // stagedRec is one encoded record parked in a stripe's staging buffer,
@@ -363,6 +366,12 @@ type WAL struct {
 	// producer actually pays); fsyncHist times each flush+fsync pass.
 	appendHist obs.Histogram
 	fsyncHist  obs.Histogram
+
+	// degradedNs, when nonzero, is an injected per-fsync stall — the
+	// scenario engine's "sick disk" fault mode. The log stays correct
+	// (every durability promise holds, just slower), which is exactly the
+	// partial-degradation state /readyz must report without flapping.
+	degradedNs atomic.Int64
 
 	scratch sync.Pool // *[]byte record-encoding buffers
 
@@ -796,11 +805,36 @@ func (w *WAL) publishErrorLocked(err error) {
 	w.deferredMu.Unlock()
 }
 
+// SetFsyncDegraded injects (or, with 0, clears) a per-fsync stall of d —
+// the degraded-disk fault mode scenario runs use to model a device whose
+// writeback latency collapsed. Durability semantics are untouched: every
+// fsync still completes, acked records are still on stable storage; only
+// the latency distribution (and everything parked behind a group commit)
+// degrades. Safe to flip while the log is live.
+func (w *WAL) SetFsyncDegraded(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	w.degradedNs.Store(d.Nanoseconds())
+}
+
+// FsyncDegraded reports the injected per-fsync stall (0 = healthy).
+func (w *WAL) FsyncDegraded() time.Duration {
+	return time.Duration(w.degradedNs.Load())
+}
+
 // syncLocked flushes and fsyncs the active segment. Callers hold ioMu.
 func (w *WAL) syncLocked() error {
 	start := time.Now()
 	if err := w.bw.Flush(); err != nil {
 		return fmt.Errorf("durable: flushing: %w", err)
+	}
+	if d := w.degradedNs.Load(); d > 0 {
+		// The stall sits where a real device's latency would: between the
+		// write handoff and the durability barrier, while ioMu is held —
+		// so group commits batch up behind it exactly as they would
+		// behind a slow disk.
+		time.Sleep(time.Duration(d))
 	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("durable: fsync: %w", err)
@@ -969,6 +1003,7 @@ func (w *WAL) Stats() WALStats {
 	}
 	s.Append = w.appendHist.Summary()
 	s.Fsync = w.fsyncHist.Summary()
+	s.DegradedFsyncMillis = float64(w.degradedNs.Load()) / 1e6
 	return s
 }
 

@@ -50,6 +50,12 @@ type Server struct {
 	traceRing  *obs.TraceRing
 	notReady   atomic.Bool
 	readyCheck func() error
+
+	// degradedCheck reports partial degradation (e.g. the WAL running in
+	// injected-slow-fsync mode): the node still serves — /readyz stays
+	// 200 — but the body and pphcr_degraded flag it, so scenario runs
+	// and dashboards can tell degraded from dead.
+	degradedCheck func() error
 }
 
 // NewServer wraps a System.

@@ -109,6 +109,26 @@ func (s *Server) registerSystemMetrics() {
 		nil, func() float64 { return float64(cache.Stats().Invalidations) })
 	s.registry.RegisterGauge("pphcr_plancache_entries", "Live plan cache entries.",
 		nil, func() float64 { return float64(cache.Stats().Entries) })
+	s.registry.RegisterCounter("pphcr_plancache_epoch_invalidations_total",
+		"Whole-cache epoch invalidations (mass stale events, e.g. new content).",
+		nil, func() float64 { return float64(cache.Stats().EpochInvalidations) })
+	s.registry.RegisterCounter("pphcr_plancache_user_invalidations_total",
+		"Per-user plan cache invalidations.",
+		nil, func() float64 { return float64(cache.Stats().UserInvalidations) })
+	s.registry.RegisterCounter("pphcr_plancache_rewarms_total",
+		"Completed post-invalidation re-warms (warm set rebuilt to pre-bump size).",
+		nil, func() float64 { return float64(cache.Stats().Rewarms) })
+	s.registry.RegisterGauge("pphcr_plancache_rewarm_pending",
+		"1 while an epoch invalidation's re-warm is still in progress.",
+		nil, func() float64 {
+			if cache.Stats().RewarmPending {
+				return 1
+			}
+			return 0
+		})
+	s.registry.RegisterGauge("pphcr_plancache_last_rewarm_seconds",
+		"Duration of the most recently completed re-warm.",
+		nil, func() float64 { return cache.Stats().LastRewarmMillis / 1e3 })
 
 	fb := s.sys.Feedback
 	s.registry.RegisterCounter("pphcr_feedback_appends_total", "Feedback events appended.",
@@ -151,6 +171,13 @@ func (s *Server) registerSystemMetrics() {
 	s.registry.RegisterGauge("pphcr_ready", "1 when the node is ready to serve, else 0.",
 		nil, func() float64 {
 			if s.readinessErr() == nil {
+				return 1
+			}
+			return 0
+		})
+	s.registry.RegisterGauge("pphcr_degraded", "1 when the node serves in a degraded mode (e.g. slow fsync), else 0.",
+		nil, func() float64 {
+			if s.degradedErr() != nil {
 				return 1
 			}
 			return 0
@@ -199,15 +226,38 @@ func (s *Server) readinessErr() error {
 	return nil
 }
 
-// readyView is the /readyz body.
+// SetDegradedCheck attaches a partial-degradation probe (the server
+// passes the durability layer's Degraded). Unlike the readiness check a
+// non-nil error does NOT turn /readyz into a 503: the node keeps
+// serving, but the response body carries degraded=true with the reason
+// and pphcr_degraded flips to 1 — a load balancer keeps routing while a
+// scenario run (or an operator) sees the disk is limping.
+func (s *Server) SetDegradedCheck(fn func() error) { s.degradedCheck = fn }
+
+// degradedErr reports why the node is degraded, nil when it is not.
+func (s *Server) degradedErr() error {
+	if s.degradedCheck != nil {
+		return s.degradedCheck()
+	}
+	return nil
+}
+
+// readyView is the /readyz body. Degraded is only ever true on a 200:
+// a dead node answers 503 (or nothing), a degraded one answers 200
+// with the flag set — the two states are distinguishable by design.
 type readyView struct {
-	Ready  bool   `json:"ready"`
-	Reason string `json:"reason,omitempty"`
+	Ready    bool   `json:"ready"`
+	Degraded bool   `json:"degraded,omitempty"`
+	Reason   string `json:"reason,omitempty"`
 }
 
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if err := s.readinessErr(); err != nil {
 		writeJSON(w, http.StatusServiceUnavailable, readyView{Ready: false, Reason: err.Error()})
+		return
+	}
+	if err := s.degradedErr(); err != nil {
+		writeJSON(w, http.StatusOK, readyView{Ready: true, Degraded: true, Reason: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, readyView{Ready: true})

@@ -121,6 +121,45 @@ func TestReadyzSplitFromHealthz(t *testing.T) {
 	}
 }
 
+// TestReadyzDegradedDistinctFromDead checks the third readiness state:
+// a degraded node (e.g. WAL in injected-slow-fsync mode) answers 200 —
+// the load balancer keeps routing — but the body carries degraded=true
+// with a reason, and pphcr_degraded flips to 1.
+func TestReadyzDegradedDistinctFromDead(t *testing.T) {
+	ts, srv, _, _ := newObsServer(t)
+
+	code, body, _ := getBody(t, ts.URL+"/readyz")
+	if code != 200 || strings.Contains(body, "degraded") {
+		t.Fatalf("healthy readyz = %d %s", code, body)
+	}
+
+	srv.SetDegradedCheck(func() error { return errors.New("wal fsync degraded: injected 5ms stall") })
+	code, body, _ = getBody(t, ts.URL+"/readyz")
+	if code != 200 {
+		t.Fatalf("degraded must stay 200 (distinguishable from dead), got %d", code)
+	}
+	if !strings.Contains(body, `"degraded":true`) || !strings.Contains(body, "5ms stall") {
+		t.Fatalf("degraded body = %s", body)
+	}
+	if code, text, _ := getBody(t, ts.URL+"/metrics"); code != 200 || !strings.Contains(text, "pphcr_degraded 1") {
+		t.Fatalf("pphcr_degraded should read 1 while degraded")
+	}
+
+	// Degradation does not mask death: a failing readiness check still
+	// wins with a 503.
+	srv.SetReadinessCheck(func() error { return errors.New("wal wedged") })
+	if code, _, _ := getBody(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("dead+degraded readyz = %d, want 503", code)
+	}
+	srv.SetReadinessCheck(nil)
+
+	srv.SetDegradedCheck(nil)
+	code, body, _ = getBody(t, ts.URL+"/readyz")
+	if code != 200 || strings.Contains(body, "degraded") {
+		t.Fatalf("recovered readyz = %d %s", code, body)
+	}
+}
+
 // slowRank delays the Rank stage — the slow-stage injection for the
 // trace-ring test.
 type slowRank struct {

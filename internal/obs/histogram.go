@@ -138,6 +138,39 @@ func (s *Snapshot) Merge(other Snapshot) {
 	}
 }
 
+// Delta returns the observations s holds beyond prev — the per-phase
+// view the scenario engine reports: snapshot a cumulative histogram at
+// two phase boundaries and Delta isolates what happened in between.
+// prev must be an earlier snapshot of the same histogram. The maximum
+// cannot be differenced (it is tracked exactly but cumulatively), so
+// the delta's MaxNs is the tightest provable bound: the upper bound of
+// the highest non-empty delta bucket, clamped to the cumulative max.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	var d Snapshot
+	hiBucket := -1
+	for i := range s.Buckets {
+		c := s.Buckets[i] - prev.Buckets[i]
+		if c < 0 {
+			c = 0 // not an earlier snapshot of the same histogram; clamp
+		}
+		d.Buckets[i] = c
+		d.Count += c
+		if c > 0 {
+			hiBucket = i
+		}
+	}
+	if d.SumNs = s.SumNs - prev.SumNs; d.SumNs < 0 {
+		d.SumNs = 0
+	}
+	if hiBucket >= 0 {
+		d.MaxNs = bucketUppers[hiBucket]
+		if d.MaxNs > s.MaxNs {
+			d.MaxNs = s.MaxNs
+		}
+	}
+	return d
+}
+
 // MeanNs returns the mean observation in nanoseconds (0 when empty).
 func (s Snapshot) MeanNs() float64 {
 	if s.Count == 0 {

@@ -393,3 +393,36 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		}
 	})
 }
+
+// TestSnapshotDelta checks the phase-boundary difference view: counts
+// and sums subtract exactly, and the delta's max is the tightest
+// provable bound (highest non-empty delta bucket, clamped to the
+// cumulative max).
+func TestSnapshotDelta(t *testing.T) {
+	var h Histogram
+	h.ObserveNs(150)
+	h.ObserveNs(1000)
+	before := h.Snapshot()
+	h.ObserveNs(200)
+	h.ObserveNs(50_000)
+	after := h.Snapshot()
+
+	d := after.Delta(before)
+	if d.Count != 2 {
+		t.Fatalf("delta count = %d, want 2", d.Count)
+	}
+	if d.SumNs != 50_200 {
+		t.Fatalf("delta sum = %d, want 50200", d.SumNs)
+	}
+	if d.MaxNs < 50_000 || d.MaxNs > after.MaxNs {
+		t.Fatalf("delta max = %d, want in [50000, %d]", d.MaxNs, after.MaxNs)
+	}
+	if q := d.Quantile(0.99); q < 40_000 || q > d.MaxNs {
+		t.Fatalf("delta p99 = %d, not in the top bucket", q)
+	}
+	// Delta against an equal snapshot is empty.
+	z := after.Delta(after)
+	if z.Count != 0 || z.SumNs != 0 || z.MaxNs != 0 {
+		t.Fatalf("self-delta not empty: %+v", z)
+	}
+}

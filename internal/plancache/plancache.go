@@ -93,6 +93,27 @@ type Cache struct {
 	evictions     atomic.Int64
 	puts          atomic.Int64
 	invalidations atomic.Int64
+
+	// Invalidation split: epoch bumps (InvalidateAll calls) versus
+	// per-user drops (InvalidateUser calls). The flash-crowd scenario's
+	// key signal is the epoch count plus the re-warm clock below.
+	epochInvalidations atomic.Int64
+	userInvalidations  atomic.Int64
+
+	// Re-warm tracking: an epoch invalidation marks every live entry
+	// stale at once; the time until the warm set is rebuilt (puts since
+	// the bump reaching the entry count it staled) is the recovery signal
+	// scenario runs and dashboards watch. rewarmArmed is the Put fast
+	// path's lock-free check; the rest lives under rewarmMu. rewarmMu is
+	// a leaf lock: it never holds (or is held under) a shard lock.
+	rewarmArmed   atomic.Bool
+	rewarmMu      sync.Mutex
+	rewarmTarget  int64 // puts needed to declare the cache re-warmed
+	rewarmPuts    int64
+	rewarmStart   time.Time
+	rewarms       atomic.Int64
+	lastRewarmNs  atomic.Int64
+	totalRewarmNs atomic.Int64
 }
 
 // New builds a cache. Zero-value Config fields take the documented
@@ -243,6 +264,33 @@ func (c *Cache) PutVersioned(k Key, v any, ver Version) {
 	sh.m[k] = e
 	sh.mu.Unlock()
 	c.puts.Add(1)
+	if c.rewarmArmed.Load() {
+		c.noteRewarmPut(now)
+	}
+}
+
+// noteRewarmPut credits one put toward the pending re-warm and closes
+// the clock when the target is reached. Runs outside every shard lock.
+func (c *Cache) noteRewarmPut(now time.Time) {
+	c.rewarmMu.Lock()
+	defer c.rewarmMu.Unlock()
+	if c.rewarmTarget == 0 {
+		return // raced with completion
+	}
+	c.rewarmPuts++
+	if c.rewarmPuts < c.rewarmTarget {
+		return
+	}
+	elapsed := now.Sub(c.rewarmStart).Nanoseconds()
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	c.lastRewarmNs.Store(elapsed)
+	c.totalRewarmNs.Add(elapsed)
+	c.rewarms.Add(1)
+	c.rewarmTarget = 0
+	c.rewarmPuts = 0
+	c.rewarmArmed.Store(false)
 }
 
 func (c *Cache) evictOldestLocked(sh *shard) {
@@ -266,6 +314,7 @@ func (c *Cache) evictOldestLocked(sh *shard) {
 // computed before the invalidation but stored after it (by a racing
 // warm worker holding an older Snapshot) lands stale.
 func (c *Cache) InvalidateUser(user string) int {
+	c.userInvalidations.Add(1)
 	gsh := c.genShardFor(user)
 	gsh.genMu.Lock()
 	gsh.gens[user]++
@@ -292,9 +341,31 @@ func (c *Cache) InvalidateUser(user string) int {
 // InvalidateAll marks every current entry stale in O(1) by bumping the
 // cache epoch (used when new content changes every user's candidate set).
 // Stale entries are evicted lazily on read or by Sweep.
+//
+// It also (re-)arms the re-warm clock: the entries alive at the bump are
+// the warm set the invalidation destroyed, and the cache declares itself
+// re-warmed after that many puts land — Stats then reports the elapsed
+// time as LastRewarmMillis, the flash-crowd recovery signal. A second
+// bump while a re-warm is pending restarts the clock against the
+// current (possibly partially rebuilt) warm set.
 func (c *Cache) InvalidateAll() {
+	// Size the destroyed warm set before bumping: after the bump, Len
+	// still counts the stale entries, but a concurrent Sweep could be
+	// shrinking them already.
+	target := int64(c.Len())
 	c.epoch.Add(1)
 	c.invalidations.Add(1)
+	c.epochInvalidations.Add(1)
+	if target == 0 {
+		return // nothing was warm; nothing to re-warm
+	}
+	now := c.cfg.Now()
+	c.rewarmMu.Lock()
+	c.rewarmTarget = target
+	c.rewarmPuts = 0
+	c.rewarmStart = now
+	c.rewarmMu.Unlock()
+	c.rewarmArmed.Store(true)
 }
 
 // Sweep eagerly removes expired and version-stale entries, returning
@@ -343,6 +414,14 @@ type Stats struct {
 	Puts          int64   `json:"puts"`
 	Invalidations int64   `json:"invalidations"`
 	HitRate       float64 `json:"hit_rate"`
+
+	// Invalidation split and re-warm clock (see InvalidateAll).
+	EpochInvalidations int64   `json:"epoch_invalidations"`
+	UserInvalidations  int64   `json:"user_invalidations"`
+	Rewarms            int64   `json:"rewarms"`
+	RewarmPending      bool    `json:"rewarm_pending"`
+	LastRewarmMillis   float64 `json:"last_rewarm_millis"`
+	TotalRewarmMillis  float64 `json:"total_rewarm_millis"`
 }
 
 // Stats snapshots the counters. HitRate is hits/(hits+misses), 0 when no
@@ -357,6 +436,13 @@ func (c *Cache) Stats() Stats {
 		Evictions:     c.evictions.Load(),
 		Puts:          c.puts.Load(),
 		Invalidations: c.invalidations.Load(),
+
+		EpochInvalidations: c.epochInvalidations.Load(),
+		UserInvalidations:  c.userInvalidations.Load(),
+		Rewarms:            c.rewarms.Load(),
+		RewarmPending:      c.rewarmArmed.Load(),
+		LastRewarmMillis:   float64(c.lastRewarmNs.Load()) / 1e6,
+		TotalRewarmMillis:  float64(c.totalRewarmNs.Load()) / 1e6,
 	}
 	if total := s.Hits + s.Misses; total > 0 {
 		s.HitRate = float64(s.Hits) / float64(total)

@@ -290,3 +290,104 @@ func TestConcurrent(t *testing.T) {
 		t.Fatalf("entries snapshot inconsistent: %d vs %d", st.Entries, c.Len())
 	}
 }
+
+func TestInvalidationSplitCounters(t *testing.T) {
+	c, _ := newTestCache(time.Minute)
+	c.Put(key("lilly", 1, 2), "a")
+	c.InvalidateAll()
+	c.InvalidateUser("lilly")
+	c.InvalidateUser("ghost")
+	st := c.Stats()
+	if st.EpochInvalidations != 1 {
+		t.Fatalf("epoch invalidations = %d", st.EpochInvalidations)
+	}
+	if st.UserInvalidations != 2 {
+		t.Fatalf("user invalidations = %d", st.UserInvalidations)
+	}
+}
+
+func TestRewarmClock(t *testing.T) {
+	c, clk := newTestCache(time.Hour)
+	for i := 0; i < 3; i++ {
+		c.Put(key("lilly", i, 0), i)
+	}
+
+	c.InvalidateAll()
+	st := c.Stats()
+	if !st.RewarmPending || st.Rewarms != 0 {
+		t.Fatalf("after invalidate: %+v", st)
+	}
+
+	// Two of three puts back: still pending.
+	c.Put(key("lilly", 0, 0), "r0")
+	clk.advance(150 * time.Millisecond)
+	c.Put(key("lilly", 1, 0), "r1")
+	if st = c.Stats(); !st.RewarmPending {
+		t.Fatalf("pending cleared after 2/3 puts: %+v", st)
+	}
+
+	// Third put completes the re-warm at the advanced clock.
+	clk.advance(100 * time.Millisecond)
+	c.Put(key("lilly", 2, 0), "r2")
+	st = c.Stats()
+	if st.RewarmPending {
+		t.Fatalf("still pending after target puts: %+v", st)
+	}
+	if st.Rewarms != 1 {
+		t.Fatalf("rewarms = %d", st.Rewarms)
+	}
+	if st.LastRewarmMillis != 250 {
+		t.Fatalf("last rewarm = %vms, want 250", st.LastRewarmMillis)
+	}
+	if st.TotalRewarmMillis != 250 {
+		t.Fatalf("total rewarm = %vms, want 250", st.TotalRewarmMillis)
+	}
+
+	// Extra puts after completion must not disturb the record.
+	c.Put(key("lilly", 3, 0), "x")
+	if st = c.Stats(); st.Rewarms != 1 || st.RewarmPending {
+		t.Fatalf("post-completion put changed state: %+v", st)
+	}
+}
+
+func TestRewarmEmptyCacheNotArmed(t *testing.T) {
+	c, _ := newTestCache(time.Minute)
+	c.InvalidateAll()
+	st := c.Stats()
+	if st.RewarmPending {
+		t.Fatal("empty-cache invalidation armed a re-warm")
+	}
+	if st.EpochInvalidations != 1 {
+		t.Fatalf("epoch invalidations = %d", st.EpochInvalidations)
+	}
+	// A put afterwards must not complete (or panic on) a phantom re-warm.
+	c.Put(key("lilly", 1, 0), "a")
+	if st = c.Stats(); st.Rewarms != 0 {
+		t.Fatalf("phantom rewarm: %+v", st)
+	}
+}
+
+func TestRewarmReArmRestartsClock(t *testing.T) {
+	c, clk := newTestCache(time.Hour)
+	c.Put(key("lilly", 0, 0), "a")
+	c.Put(key("lilly", 1, 0), "b")
+
+	c.InvalidateAll() // target 2
+	clk.advance(time.Second)
+	c.Put(key("lilly", 0, 0), "a2")
+
+	c.InvalidateAll() // re-arm against current warm set (2 entries)
+	clk.advance(50 * time.Millisecond)
+	c.Put(key("lilly", 0, 0), "a3")
+	c.Put(key("lilly", 1, 0), "b3")
+	st := c.Stats()
+	if st.Rewarms != 1 || st.RewarmPending {
+		t.Fatalf("after re-arm completion: %+v", st)
+	}
+	if st.LastRewarmMillis != 50 {
+		t.Fatalf("last rewarm = %vms, want 50 (clock not restarted)", st.LastRewarmMillis)
+	}
+	if st.EpochInvalidations != 2 {
+		t.Fatalf("epoch invalidations = %d", st.EpochInvalidations)
+	}
+}

@@ -1,0 +1,252 @@
+// Package scenario is the city-scale workload engine of PPHCR: it
+// composes deterministic, seeded phases — diurnal commute ramps, a
+// breaking-news flash crowd that mass-invalidates the plan cache, churn
+// storms, ephemeral-context shifts that re-rank mid-trip, and a
+// degraded-fsync disk — into named scripts driven open-loop against a
+// live System at 100k+ simulated users, and judges the result against
+// an SLO spec with per-phase, per-stage tail reporting.
+//
+// The paper's proactive-personalization claim only pays off if warm
+// plans survive real traffic shapes (ROADMAP item 3); the Ephemeral
+// Context and proactive-caching-under-surges papers in PAPERS.md
+// motivate the context-shift and flash-crowd phases specifically. The
+// package turns those shapes into reproducible experiments: the same
+// seed and script always produce the same event sequence, so an SLO
+// verdict is a regression signal, not weather.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Op is a scenario-level operation kind. The set mirrors the public
+// System surface the HTTP API exposes, plus OpShift: an ephemeral
+// context change (weather turns, the listener leaves the car) that
+// invalidates the user's cached plan and re-ranks mid-trip.
+type Op uint8
+
+// Operation kinds, in report order.
+const (
+	OpPlan Op = iota
+	OpFeedback
+	OpFix
+	OpRecommend
+	OpPrefs
+	OpRegister
+	OpIngest
+	OpShift
+	NumOps
+)
+
+// OpNames maps ops to report labels.
+var OpNames = [NumOps]string{
+	"plan", "feedback", "fix", "recommend", "prefs", "register", "ingest", "shift",
+}
+
+// String returns the op's report label.
+func (o Op) String() string {
+	if int(o) < len(OpNames) {
+		return OpNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Mix is the operation mix of a phase: relative weights, normalized at
+// schedule time (all-zero falls back to a plan-only phase).
+type Mix [NumOps]float64
+
+// Phase is one stretch of a scenario: a duration, an open-loop arrival
+// rate (optionally ramping linearly to RampTo), an operation mix, and
+// the faults injected at phase entry.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+	// Rate is the arrival rate in events/sec at phase start; RampTo, when
+	// non-zero, is the rate at phase end with linear interpolation in
+	// between — the diurnal commute ramp.
+	Rate   float64
+	RampTo float64
+	Mix    Mix
+	// FlashCrowd ingests a breaking item at phase entry and
+	// epoch-invalidates the plan cache: every warm plan goes stale at
+	// once and the phase's traffic hammers the cold path.
+	FlashCrowd bool
+	// DegradedFsync, when non-zero, injects that stall into every WAL
+	// fsync for the duration of the phase (cleared by the next phase
+	// entry). The node must degrade, not die.
+	DegradedFsync time.Duration
+}
+
+// Script is a named scenario: an ordered list of phases over a
+// simulated population.
+type Script struct {
+	Name        string
+	Description string
+	// Users is the simulated population at scale 1.0 and Drivers the
+	// subset with full mobility models that plan trips. Engine options
+	// can override both.
+	Users   int
+	Drivers int
+	Phases  []Phase
+}
+
+// TotalDuration sums the phase durations (before any duration scaling).
+func (s Script) TotalDuration() time.Duration {
+	var d time.Duration
+	for _, p := range s.Phases {
+		d += p.Duration
+	}
+	return d
+}
+
+// The standard mixes. Weights are relative; see Mix.
+var (
+	// mixCommute is rush-hour traffic: plan-dominated with live tracking
+	// fixes, a trickle of everything else.
+	mixCommute = Mix{OpPlan: 0.45, OpFix: 0.25, OpFeedback: 0.12, OpRecommend: 0.08, OpPrefs: 0.06, OpRegister: 0.02, OpIngest: 0.02}
+	// mixCalm is off-peak browsing: reads and feedback, few plans.
+	mixCalm = Mix{OpPlan: 0.15, OpFeedback: 0.30, OpRecommend: 0.25, OpPrefs: 0.20, OpFix: 0.08, OpIngest: 0.02}
+	// mixFlash is the breaking-news shape: everyone asks for a plan or a
+	// recommendation at once, against a cache that just went cold.
+	mixFlash = Mix{OpPlan: 0.60, OpRecommend: 0.25, OpFeedback: 0.10, OpFix: 0.05}
+	// mixChurn is a registration storm riding on background traffic.
+	mixChurn = Mix{OpRegister: 0.50, OpPlan: 0.15, OpFeedback: 0.15, OpRecommend: 0.10, OpPrefs: 0.10}
+	// mixShift is the ephemeral-context shape: mid-trip re-ranks dominate.
+	mixShift = Mix{OpShift: 0.45, OpPlan: 0.25, OpFix: 0.15, OpRecommend: 0.15}
+	// mixWrite is write-heavy traffic for the degraded-disk phase: every
+	// op that lands in the WAL.
+	mixWrite = Mix{OpFeedback: 0.45, OpFix: 0.35, OpPlan: 0.10, OpRegister: 0.05, OpIngest: 0.05}
+)
+
+// RushHour is the diurnal commute ramp: calm, a linear climb into the
+// peak, the peak itself, and the ebb.
+func RushHour() Script {
+	return Script{
+		Name:        "rush-hour",
+		Description: "diurnal commute ramp: calm → climb → peak → ebb",
+		Users:       100_000,
+		Drivers:     400,
+		Phases: []Phase{
+			{Name: "calm", Duration: 10 * time.Second, Rate: 200, Mix: mixCalm},
+			{Name: "ramp-up", Duration: 20 * time.Second, Rate: 200, RampTo: 2000, Mix: mixCommute},
+			{Name: "peak", Duration: 20 * time.Second, Rate: 2000, Mix: mixCommute},
+			{Name: "ebb", Duration: 10 * time.Second, Rate: 2000, RampTo: 300, Mix: mixCommute},
+		},
+	}
+}
+
+// FlashCrowd is the breaking-news shape: a warm steady state, then the
+// story breaks — new content epoch-invalidates every cached plan while
+// demand spikes — then the recovery window where the cache re-warms.
+func FlashCrowd() Script {
+	return Script{
+		Name:        "flash-crowd",
+		Description: "breaking news: warm steady state → mass invalidation + demand spike → recovery",
+		Users:       100_000,
+		Drivers:     400,
+		Phases: []Phase{
+			{Name: "warm", Duration: 15 * time.Second, Rate: 800, Mix: mixCommute},
+			{Name: "flash", Duration: 15 * time.Second, Rate: 3000, Mix: mixFlash, FlashCrowd: true},
+			{Name: "recovery", Duration: 15 * time.Second, Rate: 800, Mix: mixCommute},
+		},
+	}
+}
+
+// ChurnStorm is a registration/churn storm over background traffic.
+func ChurnStorm() Script {
+	return Script{
+		Name:        "churn-storm",
+		Description: "registration storm: background load → churn spike → settle",
+		Users:       100_000,
+		Drivers:     200,
+		Phases: []Phase{
+			{Name: "background", Duration: 10 * time.Second, Rate: 400, Mix: mixCalm},
+			{Name: "storm", Duration: 20 * time.Second, Rate: 1500, Mix: mixChurn},
+			{Name: "settle", Duration: 10 * time.Second, Rate: 400, Mix: mixCalm},
+		},
+	}
+}
+
+// ContextShift is the ephemeral-context scenario: weather turns and
+// activities change mid-trip, invalidating per-user plans and forcing
+// re-ranks against the live context.
+func ContextShift() Script {
+	return Script{
+		Name:        "context-shift",
+		Description: "ephemeral context: steady commute → weather/activity shifts re-rank mid-trip",
+		Users:       100_000,
+		Drivers:     400,
+		Phases: []Phase{
+			{Name: "steady", Duration: 10 * time.Second, Rate: 800, Mix: mixCommute},
+			{Name: "shift", Duration: 20 * time.Second, Rate: 1200, Mix: mixShift},
+			{Name: "steady-after", Duration: 10 * time.Second, Rate: 800, Mix: mixCommute},
+		},
+	}
+}
+
+// DegradedDisk is the slow-disk scenario: write-heavy traffic while
+// every fsync stalls. Acked writes must survive, the node must report
+// degraded (not dead), and tails must stay bounded by group commit.
+func DegradedDisk() Script {
+	return Script{
+		Name:        "degraded-disk",
+		Description: "write-heavy load over a disk whose fsyncs stall; degraded, never dead",
+		Users:       50_000,
+		Drivers:     200,
+		Phases: []Phase{
+			{Name: "healthy", Duration: 10 * time.Second, Rate: 600, Mix: mixWrite},
+			{Name: "degraded", Duration: 20 * time.Second, Rate: 600, Mix: mixWrite, DegradedFsync: 2 * time.Millisecond},
+			{Name: "healed", Duration: 10 * time.Second, Rate: 600, Mix: mixWrite},
+		},
+	}
+}
+
+// CityDay compresses a city's day into one run: overnight calm, the
+// morning rush ramp, a mid-day breaking story with its recovery, an
+// evening churn storm, and a disk brown-out after midnight. This is the
+// script the CI smoke job runs (scaled down).
+func CityDay() Script {
+	return Script{
+		Name:        "city-day",
+		Description: "composite day: calm → rush ramp → flash crowd → recovery → churn → degraded disk",
+		Users:       100_000,
+		Drivers:     400,
+		Phases: []Phase{
+			{Name: "overnight", Duration: 8 * time.Second, Rate: 150, Mix: mixCalm},
+			{Name: "rush-ramp", Duration: 15 * time.Second, Rate: 150, RampTo: 1500, Mix: mixCommute},
+			{Name: "flash", Duration: 12 * time.Second, Rate: 2500, Mix: mixFlash, FlashCrowd: true},
+			{Name: "recovery", Duration: 12 * time.Second, Rate: 1000, Mix: mixCommute},
+			{Name: "churn", Duration: 10 * time.Second, Rate: 1200, Mix: mixChurn},
+			{Name: "brown-out", Duration: 10 * time.Second, Rate: 500, Mix: mixWrite, DegradedFsync: 2 * time.Millisecond},
+		},
+	}
+}
+
+// catalog lists every named scenario.
+func catalog() []Script {
+	return []Script{
+		RushHour(), FlashCrowd(), ChurnStorm(), ContextShift(), DegradedDisk(), CityDay(),
+	}
+}
+
+// ByName returns the named scenario.
+func ByName(name string) (Script, bool) {
+	for _, s := range catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Script{}, false
+}
+
+// Names lists the catalog's scenario names, sorted.
+func Names() []string {
+	var out []string
+	for _, s := range catalog() {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}

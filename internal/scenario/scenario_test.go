@@ -1,0 +1,243 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"pphcr/internal/obs"
+)
+
+// obs2 builds a minimal per-op map whose plan p99 is the given value.
+func obs2(p99Micros float64) map[string]obs.Summary {
+	return map[string]obs.Summary{"plan": {Count: 100, P99Micros: p99Micros}}
+}
+
+func TestCatalogWellFormed(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("catalog too small: %v", names)
+	}
+	for _, n := range names {
+		s, ok := ByName(n)
+		if !ok {
+			t.Fatalf("catalog name %q not resolvable", n)
+		}
+		if len(s.Phases) == 0 || s.Users <= 0 || s.Drivers <= 0 {
+			t.Fatalf("scenario %q malformed: %+v", n, s)
+		}
+		for _, ph := range s.Phases {
+			if ph.Duration <= 0 || ph.Rate <= 0 {
+				t.Fatalf("scenario %q phase %q malformed", n, ph.Name)
+			}
+		}
+		if s.TotalDuration() <= 0 {
+			t.Fatalf("scenario %q has no duration", n)
+		}
+	}
+	if _, ok := ByName("no-such-scenario"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+// TestScheduleDeterminism is the core reproducibility guarantee: same
+// script + same seed ⇒ byte-identical event sequences; a different seed
+// ⇒ a different sequence.
+func TestScheduleDeterminism(t *testing.T) {
+	for _, n := range Names() {
+		s, _ := ByName(n)
+		a := s.Schedule(42, 0.05, 0.1)
+		b := s.Schedule(42, 0.05, 0.1)
+		if len(a) == 0 {
+			t.Fatalf("%s: empty schedule", n)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ: %d vs %d", n, len(a), len(b))
+		}
+		ha, hb := HashEvents(a), HashEvents(b)
+		if ha != hb {
+			t.Fatalf("%s: same seed produced different schedules: %x vs %x", n, ha, hb)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: event %d differs: %+v vs %+v", n, i, a[i], b[i])
+			}
+		}
+		if hc := HashEvents(s.Schedule(43, 0.05, 0.1)); hc == ha {
+			t.Fatalf("%s: different seed produced identical schedule", n)
+		}
+	}
+}
+
+func TestSchedulePhasesOrderedAndBounded(t *testing.T) {
+	s, _ := ByName("city-day")
+	const durScale = 0.1
+	events := s.Schedule(7, 0.05, durScale)
+	windows := s.PhaseWindows(durScale)
+	prev := time.Duration(-1)
+	for i, ev := range events {
+		if ev.At < prev {
+			t.Fatalf("event %d out of order: %v after %v", i, ev.At, prev)
+		}
+		prev = ev.At
+		w := windows[ev.Phase]
+		if ev.At < w.Start || ev.At >= w.End {
+			t.Fatalf("event %d at %v outside phase %d window [%v,%v)", i, ev.At, ev.Phase, w.Start, w.End)
+		}
+	}
+	// Every phase should see at least one event at these rates.
+	seen := make(map[uint16]bool)
+	for _, ev := range events {
+		seen[ev.Phase] = true
+	}
+	for pi := range s.Phases {
+		if !seen[uint16(pi)] {
+			t.Fatalf("phase %d got no events", pi)
+		}
+	}
+}
+
+func TestScheduleRampChangesDensity(t *testing.T) {
+	s := Script{Name: "ramp", Users: 10, Drivers: 1, Phases: []Phase{
+		{Name: "up", Duration: 10 * time.Second, Rate: 10, RampTo: 1000, Mix: mixCommute},
+	}}
+	events := s.Schedule(1, 1, 1)
+	var firstHalf, secondHalf int
+	for _, ev := range events {
+		if ev.At < 5*time.Second {
+			firstHalf++
+		} else {
+			secondHalf++
+		}
+	}
+	if secondHalf < 2*firstHalf {
+		t.Fatalf("ramp not ramping: %d then %d", firstHalf, secondHalf)
+	}
+}
+
+func TestMixWeightsRespected(t *testing.T) {
+	s := Script{Name: "m", Users: 10, Drivers: 1, Phases: []Phase{
+		{Name: "p", Duration: 5 * time.Second, Rate: 2000, Mix: Mix{OpPlan: 0.75, OpFeedback: 0.25}},
+	}}
+	events := s.Schedule(3, 1, 1)
+	counts := map[Op]int{}
+	for _, ev := range events {
+		counts[ev.Op]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("unexpected ops: %v", counts)
+	}
+	frac := float64(counts[OpPlan]) / float64(len(events))
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("plan fraction = %.3f, want ≈0.75", frac)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	slo, err := ParseSpec("plan_p99=250ms,error_rate=0.01,recovery=5s,readyz_stable,burn_factor=8,burn_window=3s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slo.PlanP99 != 250*time.Millisecond || slo.ErrorRate != 0.01 ||
+		slo.RecoveryMax != 5*time.Second || !slo.ReadyzStable ||
+		slo.BurnFactor != 8 || slo.BurnWindow != 3*time.Second {
+		t.Fatalf("parsed = %+v", slo)
+	}
+	if s, err := ParseSpec(""); err != nil || s.ErrorRate != -1 || s.PlanP99 != 0 {
+		t.Fatalf("empty spec = %+v, %v", s, err)
+	}
+	for _, bad := range []string{"plan_p99=fast", "error_rate=2", "bogus=1", "readyz_stable=yes", "burn_window=10ms"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestSLOEvaluate(t *testing.T) {
+	mkReport := func(planP99Micros float64, errRate float64) *Report {
+		return &Report{
+			Phases: []PhaseReport{{
+				Name:      "p",
+				Executed:  1000,
+				Errors:    int64(errRate * 1000),
+				ErrorRate: errRate,
+				Ops:       obs2(planP99Micros),
+			}},
+			Readiness: ReadinessReport{Samples: 100},
+		}
+	}
+	slo, _ := ParseSpec("plan_p99=1ms,error_rate=0.01,readyz_stable")
+
+	r := mkReport(500, 0) // 500µs p99, no errors
+	slo.Evaluate(r)
+	if !r.SLOPass {
+		t.Fatalf("healthy run failed: %+v", r.Verdicts)
+	}
+
+	r = mkReport(5000, 0) // 5ms p99 breaches the 1ms bound
+	slo.Evaluate(r)
+	if r.SLOPass {
+		t.Fatal("p99 breach passed")
+	}
+	found := false
+	for _, v := range r.Verdicts {
+		if v.Check == "plan_p99" && !v.OK {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no failing plan_p99 verdict: %+v", r.Verdicts)
+	}
+
+	r = mkReport(500, 0.05) // 5% errors breach the 1% budget
+	slo.Evaluate(r)
+	if r.SLOPass {
+		t.Fatal("error-rate breach passed")
+	}
+
+	// A flap fails readyz_stable.
+	r = mkReport(500, 0)
+	r.Readiness.Flaps = 2
+	slo.Evaluate(r)
+	if r.SLOPass {
+		t.Fatal("flapping readiness passed")
+	}
+
+	// Incomplete flash recovery fails when a recovery bound is set.
+	slo2, _ := ParseSpec("recovery=1s")
+	r = mkReport(500, 0)
+	r.Flash = &FlashReport{Phase: "flash", RecoveryMs: 700, RecoveryComplete: false}
+	slo2.Evaluate(r)
+	if r.SLOPass {
+		t.Fatal("incomplete recovery passed")
+	}
+	r.Flash = &FlashReport{Phase: "flash", RecoveryMs: 700, RecoveryComplete: true}
+	slo2.Evaluate(r)
+	if !r.SLOPass {
+		t.Fatalf("recovery within bound failed: %+v", r.Verdicts)
+	}
+}
+
+func TestSLOBurnRate(t *testing.T) {
+	slo, _ := ParseSpec("error_rate=0.01,burn_factor=10,burn_window=2s")
+	r := &Report{
+		Phases: []PhaseReport{{Name: "p", Executed: 1000, Errors: 10, ErrorRate: 0.01}},
+	}
+	// Average holds the budget exactly, but one 2s stretch burns 50%.
+	for i := 0; i < 10; i++ {
+		b := SecondBucket{Events: 100}
+		if i == 4 || i == 5 {
+			b.Errors = 50
+		}
+		r.Seconds = append(r.Seconds, b)
+	}
+	slo.Evaluate(r)
+	burnFailed := false
+	for _, v := range r.Verdicts {
+		if v.Check == "burn_rate" && !v.OK {
+			burnFailed = true
+		}
+	}
+	if !burnFailed {
+		t.Fatalf("burn window breach undetected: %+v", r.Verdicts)
+	}
+}

@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Event is one scheduled arrival: an operation fired at a fixed offset
+// from scenario start, open-loop — the schedule does not care whether
+// the system has kept up, which is what makes overload visible instead
+// of self-throttled.
+//
+// User and Aux are raw deterministic draws; the engine reduces them
+// modulo its population and item counts, so the same schedule drives
+// any scale without re-seeding.
+type Event struct {
+	At    time.Duration
+	Phase uint16
+	Op    Op
+	User  uint32
+	Aux   uint32
+}
+
+// Schedule expands the script into its full event sequence for the
+// given seed. rateScale multiplies every phase rate and durScale every
+// phase duration (both default to 1 when ≤ 0) — the knobs CI uses to
+// shrink a city to a smoke test. The result is strictly deterministic:
+// same script, seed and scales ⇒ byte-identical events (see HashEvents).
+//
+// Arrivals are a non-homogeneous Poisson process per phase: exponential
+// inter-arrival gaps at the instantaneous rate, linearly interpolated
+// from Rate to RampTo across the phase.
+func (s Script) Schedule(seed int64, rateScale, durScale float64) []Event {
+	if rateScale <= 0 {
+		rateScale = 1
+	}
+	if durScale <= 0 {
+		durScale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var events []Event
+	phaseStart := time.Duration(0)
+	for pi, ph := range s.Phases {
+		dur := time.Duration(float64(ph.Duration) * durScale)
+		end := phaseStart + dur
+		r0 := ph.Rate * rateScale
+		r1 := r0
+		if ph.RampTo > 0 {
+			r1 = ph.RampTo * rateScale
+		}
+		cum := cumWeights(ph.Mix)
+		t := phaseStart
+		for {
+			// Instantaneous rate at t, linear between phase endpoints.
+			frac := 0.0
+			if dur > 0 {
+				frac = float64(t-phaseStart) / float64(dur)
+			}
+			rate := r0 + (r1-r0)*frac
+			if rate < 0.01 {
+				rate = 0.01
+			}
+			gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+			t += gap
+			if t >= end {
+				break
+			}
+			events = append(events, Event{
+				At:    t,
+				Phase: uint16(pi),
+				Op:    drawOp(cum, rng.Float64()),
+				User:  rng.Uint32(),
+				Aux:   rng.Uint32(),
+			})
+		}
+		phaseStart = end
+	}
+	return events
+}
+
+// cumWeights normalizes a mix into a cumulative distribution. An
+// all-zero mix degenerates to plan-only.
+func cumWeights(m Mix) [NumOps]float64 {
+	var total float64
+	for _, w := range m {
+		if w > 0 {
+			total += w
+		}
+	}
+	var cum [NumOps]float64
+	if total == 0 {
+		for i := int(OpPlan); i < int(NumOps); i++ {
+			cum[i] = 1
+		}
+		return cum
+	}
+	run := 0.0
+	for i, w := range m {
+		if w > 0 {
+			run += w / total
+		}
+		cum[i] = run
+	}
+	cum[NumOps-1] = 1 // absorb float drift
+	return cum
+}
+
+// drawOp maps a uniform draw through the cumulative mix.
+func drawOp(cum [NumOps]float64, r float64) Op {
+	for i := range cum {
+		if r < cum[i] {
+			return Op(i)
+		}
+	}
+	return Op(NumOps - 1)
+}
+
+// HashEvents fingerprints an event sequence (FNV-64a over the packed
+// fields) — the determinism test's oracle: same seed + same script ⇒
+// same hash, on any machine, under -race.
+func HashEvents(events []Event) uint64 {
+	h := fnv.New64a()
+	var buf [19]byte
+	for _, e := range events {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(e.At))
+		binary.LittleEndian.PutUint16(buf[8:], e.Phase)
+		buf[10] = byte(e.Op)
+		binary.LittleEndian.PutUint32(buf[11:], e.User)
+		binary.LittleEndian.PutUint32(buf[15:], e.Aux)
+		h.Write(buf[:19])
+	}
+	return h.Sum64()
+}
+
+// PhaseWindows returns each phase's [start, end) offsets under durScale
+// — the engine's boundary clock.
+func (s Script) PhaseWindows(durScale float64) []struct{ Start, End time.Duration } {
+	if durScale <= 0 {
+		durScale = 1
+	}
+	out := make([]struct{ Start, End time.Duration }, len(s.Phases))
+	cursor := time.Duration(0)
+	for i, ph := range s.Phases {
+		dur := time.Duration(float64(ph.Duration) * durScale)
+		out[i].Start = cursor
+		out[i].End = cursor + dur
+		cursor += dur
+	}
+	return out
+}
+
+// ExpectedEvents estimates the schedule size (trapezoidal rate
+// integral) so callers can sanity-check scale before running.
+func (s Script) ExpectedEvents(rateScale, durScale float64) int {
+	if rateScale <= 0 {
+		rateScale = 1
+	}
+	if durScale <= 0 {
+		durScale = 1
+	}
+	total := 0.0
+	for _, ph := range s.Phases {
+		r1 := ph.Rate
+		if ph.RampTo > 0 {
+			r1 = ph.RampTo
+		}
+		mean := (ph.Rate + r1) / 2 * rateScale
+		total += mean * ph.Duration.Seconds() * durScale
+	}
+	return int(math.Round(total))
+}

@@ -1,0 +1,208 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SLO is the service-level objective set a scenario run is judged by.
+// Zero/negative values mean "not checked"; build one with ParseSpec or
+// struct literals.
+type SLO struct {
+	// PlanP99 bounds every phase's plan p99 latency.
+	PlanP99 time.Duration
+	// ErrorRate bounds every phase's error fraction (errors/executed).
+	// Negative disables the check (0 demands perfection).
+	ErrorRate float64
+	// RecoveryMax bounds the flash-crowd cache re-warm time. A re-warm
+	// still pending at scenario end fails the check.
+	RecoveryMax time.Duration
+	// ReadyzStable demands zero readiness flaps and zero dead samples
+	// for the whole run — degraded samples are allowed (degraded ≠ dead).
+	ReadyzStable bool
+
+	// Burn-rate windows for the error budget: beyond the per-phase
+	// average, no BurnWindow-length stretch may burn the budget more
+	// than BurnFactor× — the fast-burn alert of SRE practice, scaled to
+	// a scenario run. Only evaluated when ErrorRate ≥ 0.
+	BurnFactor float64       // default 10
+	BurnWindow time.Duration // default 5s
+}
+
+// DefaultSLO returns an SLO with every check disabled.
+func DefaultSLO() SLO {
+	return SLO{ErrorRate: -1, BurnFactor: 10, BurnWindow: 5 * time.Second}
+}
+
+// ParseSpec parses the compact flag syntax, e.g.
+//
+//	plan_p99=250ms,error_rate=0.01,recovery=5s,readyz_stable
+//
+// Keys: plan_p99 (duration), error_rate (fraction), recovery
+// (duration), readyz_stable (bare), burn_factor (float), burn_window
+// (duration). Empty spec ⇒ no checks.
+func ParseSpec(spec string) (SLO, error) {
+	s := DefaultSLO()
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(part, "=")
+		switch key {
+		case "plan_p99":
+			d, err := time.ParseDuration(val)
+			if err != nil || !hasVal {
+				return s, fmt.Errorf("scenario: bad plan_p99 %q", val)
+			}
+			s.PlanP99 = d
+		case "error_rate":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || !hasVal || f < 0 || f > 1 {
+				return s, fmt.Errorf("scenario: bad error_rate %q", val)
+			}
+			s.ErrorRate = f
+		case "recovery":
+			d, err := time.ParseDuration(val)
+			if err != nil || !hasVal {
+				return s, fmt.Errorf("scenario: bad recovery %q", val)
+			}
+			s.RecoveryMax = d
+		case "readyz_stable":
+			if hasVal {
+				return s, fmt.Errorf("scenario: readyz_stable takes no value")
+			}
+			s.ReadyzStable = true
+		case "burn_factor":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || !hasVal || f <= 0 {
+				return s, fmt.Errorf("scenario: bad burn_factor %q", val)
+			}
+			s.BurnFactor = f
+		case "burn_window":
+			d, err := time.ParseDuration(val)
+			if err != nil || !hasVal || d < time.Second {
+				return s, fmt.Errorf("scenario: bad burn_window %q (min 1s)", val)
+			}
+			s.BurnWindow = d
+		default:
+			return s, fmt.Errorf("scenario: unknown SLO key %q", key)
+		}
+	}
+	return s, nil
+}
+
+// String renders the SLO back in spec syntax (for logs and reports).
+func (s SLO) String() string {
+	var parts []string
+	if s.PlanP99 > 0 {
+		parts = append(parts, "plan_p99="+s.PlanP99.String())
+	}
+	if s.ErrorRate >= 0 {
+		parts = append(parts, fmt.Sprintf("error_rate=%g", s.ErrorRate))
+	}
+	if s.RecoveryMax > 0 {
+		parts = append(parts, "recovery="+s.RecoveryMax.String())
+	}
+	if s.ReadyzStable {
+		parts = append(parts, "readyz_stable")
+	}
+	if len(parts) == 0 {
+		return "(no checks)"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Verdict is one SLO check's outcome. Phase is "run" for run-wide
+// checks.
+type Verdict struct {
+	Phase    string `json:"phase"`
+	Check    string `json:"check"`
+	OK       bool   `json:"ok"`
+	Observed string `json:"observed"`
+	Limit    string `json:"limit"`
+}
+
+// Evaluate judges the report against the SLO, stores the verdicts (and
+// the overall pass flag) on the report, and returns them.
+func (s SLO) Evaluate(r *Report) []Verdict {
+	var out []Verdict
+	add := func(phase, check string, ok bool, observed, limit string) {
+		out = append(out, Verdict{Phase: phase, Check: check, OK: ok, Observed: observed, Limit: limit})
+	}
+
+	for _, ph := range r.Phases {
+		if s.PlanP99 > 0 {
+			if plan, okOp := ph.Ops[OpNames[OpPlan]]; okOp {
+				got := time.Duration(plan.P99Micros * 1e3)
+				add(ph.Name, "plan_p99", got <= s.PlanP99, got.Round(time.Microsecond).String(), s.PlanP99.String())
+			}
+		}
+		if s.ErrorRate >= 0 {
+			add(ph.Name, "error_rate", ph.ErrorRate <= s.ErrorRate,
+				fmt.Sprintf("%.4f", ph.ErrorRate), fmt.Sprintf("%.4f", s.ErrorRate))
+		}
+	}
+
+	// Burn-rate windows over the per-second buckets: no window may burn
+	// the error budget at more than BurnFactor×. Windows with too few
+	// events prove nothing and are skipped.
+	if s.ErrorRate >= 0 && s.BurnFactor > 0 && len(r.Seconds) > 0 {
+		win := int(s.BurnWindow / time.Second)
+		if win < 1 {
+			win = 1
+		}
+		limit := s.ErrorRate * s.BurnFactor
+		worst, worstAt := 0.0, -1
+		for i := 0; i+win <= len(r.Seconds); i++ {
+			var ev, er int64
+			for j := i; j < i+win; j++ {
+				ev += r.Seconds[j].Events
+				er += r.Seconds[j].Errors
+			}
+			if ev < 50 {
+				continue
+			}
+			if rate := float64(er) / float64(ev); rate > worst {
+				worst, worstAt = rate, i
+			}
+		}
+		if worstAt >= 0 {
+			add("run", "burn_rate", worst <= limit,
+				fmt.Sprintf("%.4f@%ds", worst, worstAt), fmt.Sprintf("%.4f", limit))
+		}
+	}
+
+	if s.RecoveryMax > 0 && r.Flash != nil {
+		limit := s.RecoveryMax.String()
+		if r.Flash.RecoveryComplete {
+			got := time.Duration(r.Flash.RecoveryMs * 1e6)
+			add(r.Flash.Phase, "recovery", got <= s.RecoveryMax, got.Round(time.Millisecond).String(), limit)
+		} else {
+			add(r.Flash.Phase, "recovery", false,
+				fmt.Sprintf("incomplete (≥%.0fms)", r.Flash.RecoveryMs), limit)
+		}
+	}
+
+	if s.ReadyzStable {
+		ok := r.Readiness.Flaps == 0 && r.Readiness.DeadSamples == 0
+		add("run", "readyz_stable", ok,
+			fmt.Sprintf("%d flaps, %d dead", r.Readiness.Flaps, r.Readiness.DeadSamples), "0 flaps, 0 dead")
+	}
+
+	pass := true
+	for _, v := range out {
+		if !v.OK {
+			pass = false
+		}
+	}
+	r.Verdicts = out
+	r.SLOPass = pass
+	return out
+}

@@ -1,0 +1,111 @@
+package streamsim
+
+import "sync/atomic"
+
+// Usage aggregates delivery accounting across many concurrent sessions —
+// the city-scale view the scenario engine reports: when 100k simulated
+// listeners each run a Player timeline, the per-session Bandwidth values
+// fold into one Usage so the paper's network-resource argument (broadcast
+// offload share) is observable as a single number per scenario phase.
+//
+// All methods are safe for concurrent use; recording is a handful of
+// atomic adds. The zero value is ready. Must not be copied after first
+// use (it embeds atomics).
+type Usage struct {
+	sessions       atomic.Int64
+	segments       atomic.Int64
+	broadcastBytes atomic.Int64
+	unicastBytes   atomic.Int64
+	liveBytes      atomic.Int64
+	clipBytes      atomic.Int64
+	timeshiftBytes atomic.Int64
+}
+
+// RecordSession folds one session's timeline and bandwidth split into
+// the aggregate. The per-kind byte split is recomputed from the segments
+// at the same bitrate convention as Player.AccountBandwidth (96 kbps
+// default) so the kind view and the path view stay consistent.
+func (u *Usage) RecordSession(segments []Segment, bw Bandwidth, bitrateKbps int) {
+	if bitrateKbps <= 0 {
+		bitrateKbps = 96
+	}
+	u.sessions.Add(1)
+	u.segments.Add(int64(len(segments)))
+	u.broadcastBytes.Add(bw.BroadcastBytes)
+	u.unicastBytes.Add(bw.UnicastBytes)
+	for _, s := range segments {
+		n := int64(float64(bitrateKbps) * 1000 / 8 * s.Duration().Seconds())
+		switch s.Kind {
+		case SourceLive:
+			u.liveBytes.Add(n)
+		case SourceClip:
+			u.clipBytes.Add(n)
+		case SourceTimeShifted:
+			u.timeshiftBytes.Add(n)
+		}
+	}
+}
+
+// UsageSnapshot is a point-in-time copy of a Usage aggregate. Plain
+// integers: mergeable, comparable, JSON-serializable for scenario
+// reports.
+type UsageSnapshot struct {
+	Sessions       int64 `json:"sessions"`
+	Segments       int64 `json:"segments"`
+	BroadcastBytes int64 `json:"broadcast_bytes"`
+	UnicastBytes   int64 `json:"unicast_bytes"`
+	LiveBytes      int64 `json:"live_bytes"`
+	ClipBytes      int64 `json:"clip_bytes"`
+	TimeshiftBytes int64 `json:"timeshift_bytes"`
+}
+
+// Snapshot copies the counters. Concurrent recordings may straddle the
+// capture; fine for reporting.
+func (u *Usage) Snapshot() UsageSnapshot {
+	return UsageSnapshot{
+		Sessions:       u.sessions.Load(),
+		Segments:       u.segments.Load(),
+		BroadcastBytes: u.broadcastBytes.Load(),
+		UnicastBytes:   u.unicastBytes.Load(),
+		LiveBytes:      u.liveBytes.Load(),
+		ClipBytes:      u.clipBytes.Load(),
+		TimeshiftBytes: u.timeshiftBytes.Load(),
+	}
+}
+
+// Merge folds other into s (per-worker aggregates into one report).
+func (s *UsageSnapshot) Merge(other UsageSnapshot) {
+	s.Sessions += other.Sessions
+	s.Segments += other.Segments
+	s.BroadcastBytes += other.BroadcastBytes
+	s.UnicastBytes += other.UnicastBytes
+	s.LiveBytes += other.LiveBytes
+	s.ClipBytes += other.ClipBytes
+	s.TimeshiftBytes += other.TimeshiftBytes
+}
+
+// Delta returns the usage accrued since prev — the per-phase view.
+func (s UsageSnapshot) Delta(prev UsageSnapshot) UsageSnapshot {
+	return UsageSnapshot{
+		Sessions:       s.Sessions - prev.Sessions,
+		Segments:       s.Segments - prev.Segments,
+		BroadcastBytes: s.BroadcastBytes - prev.BroadcastBytes,
+		UnicastBytes:   s.UnicastBytes - prev.UnicastBytes,
+		LiveBytes:      s.LiveBytes - prev.LiveBytes,
+		ClipBytes:      s.ClipBytes - prev.ClipBytes,
+		TimeshiftBytes: s.TimeshiftBytes - prev.TimeshiftBytes,
+	}
+}
+
+// TotalBytes returns the overall bytes delivered.
+func (s UsageSnapshot) TotalBytes() int64 { return s.BroadcastBytes + s.UnicastBytes }
+
+// UnicastShare returns the fraction of bytes carried over IP — the
+// broadcast-offload headline (lower is better for the unicast network).
+func (s UsageSnapshot) UnicastShare() float64 {
+	t := s.TotalBytes()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.UnicastBytes) / float64(t)
+}
