@@ -119,6 +119,12 @@ var gatedHighlights = map[string]bool{ // name -> lowerIsBetter
 	// CI gates them with its own (generous) -gate-factor invocation.
 	"scenario_plan_p99_ns":    true,
 	"flash_crowd_recovery_ms": true,
+	// Replication highlights (ISSUE 10), merged from the kill-node
+	// report: how long the router took to promote the warm standby after
+	// the leader died, and the worst WAL-shipping lag observed during the
+	// storm. Wall-clock numbers, gated with a generous factor in CI.
+	"failover_ms":        true,
+	"replication_lag_ms": true,
 }
 
 // gate compares this run's highlights against the baseline document and

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"pphcr/internal/scenario"
+)
+
+// runFailover is the -failover workload: a write storm through an
+// EXTERNAL router (real pphcr-server + pphcr-router processes), with
+// the leader kill done from outside — CI SIGKILLs the leader PID
+// mid-storm. After the storm the tool replays its acked-write multiset
+// against the surviving cluster and gates on the invariant: every write
+// the router acked must still be there.
+//
+//	pphcr-loadgen -failover -router http://127.0.0.1:8000 \
+//	  -follower http://127.0.0.1:8081 -failover-duration 20s \
+//	  -expect-failover -max-failover-ms 15000 -report failover.json
+func runFailover(routerURL, followerURL string, users, writers int, duration time.Duration,
+	expectFailover bool, maxFailoverMs int64, reportPath string) {
+	if routerURL == "" {
+		log.Fatal("loadgen: -failover requires -router")
+	}
+	if users <= 0 {
+		users = 16
+	}
+	userIDs := make([]string, users)
+	for i := range userIDs {
+		userIDs[i] = fmt.Sprintf("storm-user-%03d", i)
+	}
+	rep, err := scenario.RunFailoverStorm(scenario.FailoverOptions{
+		RouterURL:   routerURL,
+		FollowerURL: followerURL,
+		Users:       userIDs,
+		Writers:     writers,
+		Duration:    duration,
+		AckTimeout:  15 * time.Second,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pass := true
+	check := func(ok bool, format string, args ...interface{}) {
+		status := "PASS"
+		if !ok {
+			status = "FAIL"
+			pass = false
+		}
+		fmt.Printf("  %s %s\n", status, fmt.Sprintf(format, args...))
+	}
+	fmt.Printf("failover storm: %d writes, %d acked, %d unacked, %d lost, failover %dms, max replication lag %dms\n",
+		rep.Writes, rep.Acked, rep.Unacked, rep.LostAcked, rep.FailoverMs, rep.MaxLagMs)
+	check(rep.Acked > 0, "acked writes > 0 (got %d of %d)", rep.Acked, rep.Writes)
+	check(rep.LostAcked == 0, "zero lost acked writes (lost %d, sample %v)", rep.LostAcked, rep.LostSample)
+	if expectFailover {
+		check(rep.Failovers >= 1, "failover happened (got %d)", rep.Failovers)
+		check(rep.FailoverMs > 0 && rep.FailoverMs <= maxFailoverMs,
+			"failover bounded at %dms (took %dms)", maxFailoverMs, rep.FailoverMs)
+	}
+
+	if reportPath != "" {
+		out := struct {
+			Failover   *scenario.FailoverReport `json:"failover"`
+			Highlights map[string]float64       `json:"highlights"`
+			Pass       bool                     `json:"pass"`
+		}{rep, map[string]float64{
+			"failover_ms":        float64(rep.FailoverMs),
+			"replication_lag_ms": float64(rep.MaxLagMs),
+		}, pass}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(reportPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("report written to %s", reportPath)
+	}
+	if !pass {
+		fmt.Fprintln(os.Stderr, "loadgen: failover gate FAILED")
+		os.Exit(1)
+	}
+}

@@ -88,9 +88,21 @@ func main() {
 		annOn      = flag.Bool("ann", false, "run the planning mix with embedding-based candidate retrieval (HNSW) instead of the exact window scan")
 		annRetr    = flag.Int("ann-retrieve", 256, "ANN candidates fetched per query when -ann is set")
 		annProbe   = flag.Int("ann-probe-every", 200, "sample every Nth ANN retrieval with a recall probe when -ann is set")
+		failover   = flag.Bool("failover", false, "run the failover write storm against an external router (-router) and gate zero lost acked writes; CI kills the leader mid-storm")
+		routerURL  = flag.String("router", "", "cluster router URL for -failover")
+		follower   = flag.String("follower", "", "follower URL polled for replication lag during -failover (optional)")
+		foUsers    = flag.Int("failover-users", 16, "storm user population for -failover")
+		foDur      = flag.Duration("failover-duration", 20*time.Second, "storm length for -failover")
+		foExpect   = flag.Bool("expect-failover", false, "with -failover, fail unless the router reports >=1 failover within -max-failover-ms")
+		foMaxMs    = flag.Int64("max-failover-ms", 15000, "failover-time bound for -expect-failover")
+		reportPath = flag.String("report", "", "write the -failover JSON report (with benchjson-mergeable highlights) to this file")
 	)
 	flag.Parse()
 
+	if *failover {
+		runFailover(*routerURL, *follower, *foUsers, *workers, *foDur, *foExpect, *foMaxMs, *reportPath)
+		return
+	}
 	if *contended {
 		runContended(*workers, *contUsers, *ops, *seed, *walSync, *dataDir)
 		return

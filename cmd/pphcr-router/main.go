@@ -1,0 +1,126 @@
+// Command pphcr-router is the cluster front door: it partitions users
+// across pphcr-server nodes by consistent hashing over a topology file,
+// health-checks every partition leader, promotes a partition's warm
+// standby when its leader dies, and holds write acks behind the
+// semi-sync replication barrier — a 2xx from the router means the write
+// has been applied by the partition's follower and survives losing the
+// leader.
+//
+// Usage:
+//
+//	pphcr-router -addr :8000 -topology topology.json
+//
+// The topology file:
+//
+//	{
+//	  "version": 1,
+//	  "nodes": [
+//	    {"id": "a", "url": "http://127.0.0.1:8080", "standby": "http://127.0.0.1:8081"},
+//	    {"id": "b", "url": "http://127.0.0.1:8090"}
+//	  ]
+//	}
+//
+// POST /router/reload re-reads the file and rebalances moved users; the
+// file's version must have strictly increased.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pphcr/internal/replicate"
+)
+
+func fatal(msg string, err error) {
+	slog.Error(msg, "err", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8000", "listen address")
+		topoPath       = flag.String("topology", "", "topology file (required)")
+		healthInterval = flag.Duration("health-interval", 100*time.Millisecond, "leader probe interval")
+		healthTimeout  = flag.Duration("health-timeout", time.Second, "leader probe timeout")
+		failThreshold  = flag.Int("fail-threshold", 3, "consecutive probe failures before failover")
+		ackTimeout     = flag.Duration("ack-timeout", 5*time.Second, "semi-sync replication ack budget; past it the write returns 504 (unacked)")
+		proxyTimeout   = flag.Duration("proxy-timeout", 30*time.Second, "per-request upstream budget")
+		logLevel       = flag.String("log-level", "info", "log level: debug, info, warn or error")
+	)
+	flag.Parse()
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal("flags", fmt.Errorf("bad -log-level %q", *logLevel))
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	slog.SetDefault(logger)
+
+	if *topoPath == "" {
+		fatal("flags", fmt.Errorf("-topology is required"))
+	}
+	topo, err := replicate.LoadTopology(*topoPath)
+	if err != nil {
+		fatal("topology", err)
+	}
+	router := replicate.NewRouter(topo)
+	router.HealthInterval = *healthInterval
+	router.HealthTimeout = *healthTimeout
+	router.FailThreshold = *failThreshold
+	router.AckTimeout = *ackTimeout
+	router.ProxyTimeout = *proxyTimeout
+	router.Logger = logger
+
+	stop := make(chan struct{})
+	go router.Run(stop)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", router.Handler())
+	mux.HandleFunc("POST /router/reload", func(w http.ResponseWriter, r *http.Request) {
+		t, err := replicate.LoadTopology(*topoPath)
+		if err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
+			return
+		}
+		moved, err := router.ReloadTopology(t)
+		if err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusConflict)
+			return
+		}
+		slog.Info("topology reloaded", "version", t.Version, "moved_users", moved)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"version":%d,"moved_users":%d}`+"\n", t.Version, moved)
+	})
+
+	for _, n := range topo.Nodes {
+		slog.Info("partition", "id", n.ID, "leader", n.URL, "standby", n.Standby)
+	}
+	slog.Info("PPHCR router listening", "addr", *addr, "topology_version", topo.Version)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		close(stop)
+		fatal("serve", err)
+	case <-ctx.Done():
+	}
+	slog.Info("shutting down")
+	close(stop)
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShutdown()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		slog.Warn("shutdown", "err", err)
+	}
+	slog.Info("bye")
+}

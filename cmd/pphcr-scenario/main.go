@@ -70,6 +70,16 @@ func main() {
 			fmt.Printf("%-14s %s (%d users, %d drivers, %v)\n",
 				s.Name, s.Description, s.Users, s.Drivers, s.TotalDuration())
 		}
+		fmt.Printf("%-14s %s\n", "kill-node",
+			"two-node replicated cluster, leader crash-killed mid-storm, zero-lost-acked-writes oracle")
+		return
+	}
+
+	// kill-node is not a catalog scenario: it builds its own two-node
+	// replicated cluster instead of driving one System through the phase
+	// engine, and its SLO is the zero-lost-acked-writes invariant.
+	if *name == "kill-node" {
+		runKillNode(*seed, *users, *workers, *durScale, *gate, *reportPath)
 		return
 	}
 

@@ -34,6 +34,7 @@ import (
 	"pphcr/internal/httpapi"
 	"pphcr/internal/obs"
 	"pphcr/internal/precompute"
+	"pphcr/internal/replicate"
 	"pphcr/internal/service"
 	"pphcr/internal/synth"
 )
@@ -127,6 +128,11 @@ func main() {
 		annProbe    = flag.Int("ann-probe-every", 500, "sample every Nth ANN retrieval with a brute-force recall probe (0 disables)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		traceThresh = flag.Duration("trace-threshold", 250*time.Millisecond, "keep per-request stage traces slower than this in /debug/traces (0 disables tracing)")
+		role        = flag.String("role", "leader", "replication role: leader or follower")
+		leaderURL   = flag.String("leader-url", "", "follower: base URL of the leader whose WAL this node tails")
+		nodeID      = flag.String("node-id", "", "this node's id in the topology (scopes the preload to owned users)")
+		topoPath    = flag.String("topology", "", "topology file; with -node-id the preload registers only owned users")
+		retainWAL   = flag.Bool("retain-wal", false, "keep WAL segments past checkpoints (required on replicated leaders: followers bootstrap and rebalances replay from the full log)")
 	)
 	flag.Parse()
 
@@ -136,6 +142,26 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	slog.SetDefault(logger)
+
+	isFollower := false
+	switch *role {
+	case "leader":
+	case "follower":
+		isFollower = true
+		if *leaderURL == "" || *dataDir == "" {
+			fatal("flags", fmt.Errorf("-role follower requires -leader-url and -data-dir"))
+		}
+	default:
+		fatal("flags", fmt.Errorf("bad -role %q (use leader or follower)", *role))
+	}
+	var ring *replicate.Ring
+	if *topoPath != "" {
+		topo, err := replicate.LoadTopology(*topoPath)
+		if err != nil {
+			fatal("topology", err)
+		}
+		ring = replicate.NewRing(topo)
+	}
 
 	slog.Info("generating synthetic world", "seed", *seed, "days", *days, "users", *users)
 	w, err := synth.GenerateWorld(synth.Params{Seed: *seed, Days: *days, Users: *users})
@@ -175,12 +201,15 @@ func main() {
 	// the listener opens: restore the newest valid checkpoint, replay
 	// the WAL tail, then attach the log so every subsequent mutation is
 	// durable.
+	policy, err := durable.ParseSyncPolicy(*walSync)
+	if err != nil {
+		fatal("durability", err)
+	}
+	// A follower opens no WAL of its own: its directory is a mirror of
+	// the leader's segments, appended by the tailer and replayed through
+	// the same recovery entry points. Promotion opens a live WAL over it.
 	var dur *pphcr.Durability
-	if *dataDir != "" {
-		policy, err := durable.ParseSyncPolicy(*walSync)
-		if err != nil {
-			fatal("durability", err)
-		}
+	if *dataDir != "" && !isFollower {
 		// A directory with WAL segments but no checkpoint is a boot that
 		// crashed before its first checkpoint — i.e. mid-preload. Its
 		// partial log must not masquerade as recoverable state (the
@@ -194,10 +223,13 @@ func main() {
 			fatal("durability", err)
 		}
 		start := time.Now()
-		dur, err = pphcr.OpenDurability(sys, pphcr.DurabilityOptions{Dir: *dataDir, Sync: policy})
+		dur, err = pphcr.OpenDurability(sys, pphcr.DurabilityOptions{
+			Dir: *dataDir, Sync: policy, RetainSegments: *retainWAL,
+		})
 		if err != nil {
 			fatal("durability", err)
 		}
+		api.SetWALSeq(dur.WALSeq)
 		if dur.Recovered() {
 			slog.Info("recovered",
 				"users", sys.Profiles.Len(), "items", sys.Repo.Len(), "dir", *dataDir,
@@ -238,8 +270,10 @@ func main() {
 
 	// The synthetic preload only populates a fresh deployment; a
 	// recovered one already holds this state (plus everything that
-	// happened since) and re-ingesting would duplicate it.
-	if dur == nil || !dur.Recovered() {
+	// happened since) and re-ingesting would duplicate it. A follower
+	// boots empty on purpose: the leader's WAL begins with the leader's
+	// own preload, so tailing from sequence 1 reconstructs everything.
+	if !isFollower && (dur == nil || !dur.Recovered()) {
 		slog.Info("ingesting podcasts through the ASR+Bayes pipeline", "count", len(w.Corpus))
 		start := time.Now()
 		for _, raw := range w.Corpus {
@@ -248,14 +282,21 @@ func main() {
 			}
 		}
 		slog.Info("ingested", "dur", time.Since(start).Round(time.Millisecond))
-		for _, p := range w.Personas {
+		// Under a topology this node registers only the users it owns;
+		// the catalog above is identical on every node (same seed).
+		personas := ownedPersonas(w.Personas, ring, *nodeID)
+		if ring != nil {
+			slog.Info("topology-scoped preload", "node", *nodeID,
+				"owned", len(personas), "total", len(w.Personas))
+		}
+		for _, p := range personas {
 			if err := sys.RegisterUser(p.Profile); err != nil {
 				fatal("register user", err)
 			}
 		}
 		if *track {
-			slog.Info("preloading commute traces", "personas", len(w.Personas))
-			for _, p := range w.Personas {
+			slog.Info("preloading commute traces", "personas", len(personas))
+			for _, p := range personas {
 				for d := 0; d < w.Params.Days; d++ {
 					day := w.Params.StartDate.AddDate(0, 0, d)
 					if wd := day.Weekday(); wd == time.Saturday || wd == time.Sunday {
@@ -289,13 +330,17 @@ func main() {
 	}
 
 	// Live tracking sent to /api/track is periodically compacted by the
-	// background worker, as in the paper's deployment.
-	compactor, err := service.NewCompactor(sys)
-	if err != nil {
-		fatal("compactor", err)
-	}
+	// background worker, as in the paper's deployment. A follower runs no
+	// compactors: every mutation must come off the leader's WAL, or the
+	// replica forks. Promotion starts them.
 	stop := make(chan struct{})
-	go compactor.Run(stop)
+	if !isFollower {
+		compactor, err := service.NewCompactor(sys)
+		if err != nil {
+			fatal("compactor", err)
+		}
+		go compactor.Run(stop)
+	}
 
 	// The synthetic world lives in the past; anchor the warmer's clock to
 	// it so plan warming targets instants that actually have candidates.
@@ -307,7 +352,7 @@ func main() {
 	// per-user baseline so the log stays bounded, mirroring the tracking
 	// compactor above (preference reads come from the incremental index
 	// and are unaffected).
-	if *fbEvery > 0 {
+	if *fbEvery > 0 && !isFollower {
 		fbc, err := service.NewFeedbackCompactor(sys)
 		if err != nil {
 			fatal("feedback compactor", err)
@@ -331,7 +376,7 @@ func main() {
 	}
 
 	var warmer *service.Warmer
-	if *warmWorkers > 0 {
+	if *warmWorkers > 0 && !isFollower {
 		warmer, err = service.NewWarmer(sys, precompute.Config{
 			Workers:   *warmWorkers,
 			BatchSize: *warmBatch,
@@ -351,8 +396,26 @@ func main() {
 		api.SetWarmerStats(func() interface{} { return warmer.Stats() })
 	}
 
+	// Replication wiring: a leader with a data directory serves its WAL
+	// to followers and accepts rebalance replays; a follower tails its
+	// leader and serves the ack-barrier wait plus the promote endpoint.
+	var replRT *replicationRuntime
+	if isFollower {
+		replRT = &replicationRuntime{
+			sys: sys, api: api, dataDir: *dataDir, sync: policy, stop: stop,
+			ckInterval: *ckInterval, fbEvery: *fbEvery, fbHorizon: *fbHorizon,
+			clock: worldClock,
+		}
+		if err := replRT.startFollower(*leaderURL); err != nil {
+			fatal("standby", err)
+		}
+		slog.Info("tailing leader WAL", "leader", *leaderURL, "dir", *dataDir)
+	}
+
 	// State is loaded (recovered or preloaded) and the cache is warm:
-	// open the readiness gate before the listener starts.
+	// open the readiness gate before the listener starts. A follower is
+	// ready for (stale-tolerant) reads while it catches up; its role on
+	// /readyz tells routers and operators what they are talking to.
 	api.SetReady(true)
 
 	mux := http.NewServeMux()
@@ -363,6 +426,11 @@ func main() {
 	mux.Handle("/debug/traces", api.Handler())
 	mux.Handle("/stats", api.Handler())
 	mux.Handle("/dashboard/", dashboard.NewServer(sys).Handler())
+	if isFollower {
+		replRT.mountFollowerReplication(mux)
+	} else if dur != nil {
+		mountLeaderReplication(mux, sys, dur, *dataDir)
+	}
 	if *pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -376,10 +444,14 @@ func main() {
 	})
 	worldNow := worldEnd.Unix()
 	slog.Info("PPHCR server listening", "addr", *addr, "users", firstN(sys.Profiles.UserIDs(), 3))
-	slog.Info("the synthetic world lives in the past — pass its clock to time-scoped endpoints",
-		"world_unix", worldNow,
-		"example", fmt.Sprintf("curl 'localhost%s/api/recommendations?user=%s&k=5&unix=%d'",
-			*addr, firstN(sys.Profiles.UserIDs(), 1)[0], worldNow))
+	// A follower boots with zero users (its state arrives over the WAL),
+	// so there may be no example user to print.
+	if ids := firstN(sys.Profiles.UserIDs(), 1); len(ids) > 0 {
+		slog.Info("the synthetic world lives in the past — pass its clock to time-scoped endpoints",
+			"world_unix", worldNow,
+			"example", fmt.Sprintf("curl 'localhost%s/api/recommendations?user=%s&k=5&unix=%d'",
+				*addr, ids[0], worldNow))
+	}
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests and stop
 	// the background workers.
@@ -406,6 +478,10 @@ func main() {
 	// acknowledged mutation is in the snapshot and the next boot
 	// replays nothing.
 	finalCheckpoint(dur)
+	if replRT != nil {
+		replRT.shutdownFollower()
+		finalCheckpoint(replRT.promotedDurability())
+	}
 	slog.Info("bye")
 }
 

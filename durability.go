@@ -137,6 +137,12 @@ type DurabilityOptions struct {
 	// older ones are the fallback if the newest fails validation).
 	// Default 2.
 	KeepCheckpoints int
+	// RetainSegments keeps WAL segments that checkpoints would otherwise
+	// truncate. A replication leader sets it so the log holds every
+	// user's full history from sequence 1 — the slice a rebalance replays
+	// on a user's new owner (see internal/replicate). Checkpoints still
+	// land and bound recovery time; only segment removal is skipped.
+	RetainSegments bool
 }
 
 // Durability binds a System to its on-disk write-ahead log and
@@ -145,10 +151,11 @@ type DurabilityOptions struct {
 // mutation is logged; Checkpoint snapshots and truncates; Close takes a
 // final checkpoint. One Durability per data directory.
 type Durability struct {
-	sys  *System
-	dir  string
-	wal  *durable.WAL
-	keep int
+	sys    *System
+	dir    string
+	wal    *durable.WAL
+	keep   int
+	retain bool
 
 	// mu serializes Checkpoint against Close.
 	mu     sync.Mutex
@@ -188,7 +195,7 @@ func OpenDurability(sys *System, o DurabilityOptions) (*Durability, error) {
 	if o.KeepCheckpoints <= 0 {
 		o.KeepCheckpoints = 2
 	}
-	d := &Durability{sys: sys, dir: o.Dir, keep: o.KeepCheckpoints}
+	d := &Durability{sys: sys, dir: o.Dir, keep: o.KeepCheckpoints, retain: o.RetainSegments}
 
 	cps, err := durable.ListCheckpoints(o.Dir)
 	if err != nil {
@@ -328,6 +335,11 @@ func (d *Durability) checkpointLocked() error {
 	if err != nil || len(kept) == 0 {
 		return err
 	}
+	if d.retain {
+		// RetainSegments: the full log is the rebalance source of truth;
+		// keep every segment on disk.
+		return nil
+	}
 	return d.wal.RemoveSegmentsBelow(kept[0].Seq)
 }
 
@@ -410,4 +422,107 @@ func (d *Durability) Stats() DurabilityStats {
 		st.LastCheckpointAgeSec = time.Since(time.Unix(0, ns)).Seconds()
 	}
 	return st
+}
+
+// WALSeq is the highest WAL sequence number handed out so far — an
+// upper bound on the sequence of every write that has already returned.
+// The HTTP layer stamps it on write responses (X-Pphcr-Wal-Seq) so a
+// replication-aware router can hold the client ack until a follower has
+// applied at least this far.
+func (d *Durability) WALSeq() uint64 { return d.wal.SeqCeiling() }
+
+// SyncWAL forces a group flush+fsync of everything appended so far. The
+// replication source calls it before serving segment bytes under the
+// interval/none sync policies, so a follower's cursor never runs ahead
+// of what the leader has durably written.
+func (d *Durability) SyncWAL() error { return d.wal.Sync() }
+
+// ApplyReplicated applies one shipped WAL record through the entry
+// point that emitted it on the leader. It is the warm-standby apply
+// path: the System must have no mutation hook attached (nothing is
+// re-logged; the follower's on-disk log is the shipped bytes
+// themselves). The caller owns ordering — records must arrive in
+// strictly ascending sequence order, because cross-user causality on
+// the leader is only encoded in the sequence numbers, not the physical
+// record order (see durable.Replay).
+func (s *System) ApplyReplicated(e durable.Event) error {
+	return s.applyDurableEvent(e)
+}
+
+// eventUserProbe matches the user field of every durable payload
+// schema: the store types carry UserID (profile.Profile,
+// feedback.Event), the thin argument records carry User.
+type eventUserProbe struct {
+	User   string
+	UserID string
+}
+
+// EventUser extracts the user a durable event belongs to. ok is false
+// for events that are not user-scoped (catalog ingest) — a rebalance
+// replaying one user's history skips those, because every node ingests
+// the same seeded catalog itself.
+func EventUser(e durable.Event) (string, bool) {
+	switch e.Type {
+	case durable.TypeIngest:
+		return "", false
+	}
+	var p eventUserProbe
+	if err := json.Unmarshal(e.Payload, &p); err != nil {
+		return "", false
+	}
+	if p.UserID != "" {
+		return p.UserID, true
+	}
+	return p.User, p.User != ""
+}
+
+// PromoteStandby turns a warm standby into a leader. The System already
+// holds live state from applying shipped records contiguously up to
+// appliedSeq; promotion replays the local (shipped) log's remaining
+// suffix — every record with a sequence above appliedSeq, in sequence
+// order, including records the contiguous tail couldn't apply past a
+// sequence gap — then opens the WAL for writing and attaches the
+// mutation hook. From the moment it returns, the node acks its own
+// writes. fromSeg bounds the replay to segments >= fromSeg (the
+// standby's bootstrap checkpoint segment; 0 replays everything
+// retained). The returned count is the number of suffix records
+// applied — the acked-but-unapplied window the promotion closed.
+func PromoteStandby(sys *System, o DurabilityOptions, fromSeg int64, appliedSeq uint64) (*Durability, int, error) {
+	if o.Dir == "" {
+		return nil, 0, fmt.Errorf("pphcr: DurabilityOptions.Dir required")
+	}
+	if o.KeepCheckpoints <= 0 {
+		o.KeepCheckpoints = 2
+	}
+	d := &Durability{sys: sys, dir: o.Dir, keep: o.KeepCheckpoints, retain: o.RetainSegments, recovered: true}
+	applied := 0
+	st, err := durable.Replay(o.Dir, fromSeg, func(e durable.Event) error {
+		if e.Seq <= appliedSeq {
+			return nil // the standby applied this one live
+		}
+		applied++
+		return sys.applyDurableEvent(e)
+	})
+	if err != nil {
+		return nil, applied, fmt.Errorf("pphcr: promoting standby: %w", err)
+	}
+	d.replayed = applied
+	d.torn = st.Torn
+	initial := st.MaxSeq
+	if appliedSeq > initial {
+		initial = appliedSeq
+	}
+	wal, err := durable.OpenWAL(o.Dir, durable.Options{
+		SegmentBytes: o.SegmentBytes,
+		Sync:         o.Sync,
+		SyncEvery:    o.SyncEvery,
+		Stripes:      len(sys.shards),
+		InitialSeq:   initial,
+	})
+	if err != nil {
+		return nil, applied, err
+	}
+	d.wal = wal
+	sys.SetMutationHook(wal.AppendTo)
+	return d, applied, nil
 }

@@ -50,6 +50,7 @@ const (
 	orderPphcr     = "Durability.mu → barrier → shard → store → vector index"
 	orderPlancache = "shard.mu → genMu"
 	orderWAL       = "ioMu → stripe → commitMu/deferredMu"
+	orderReplicate = "Router.mu → nodeState.mu → Standby.mu"
 )
 
 // key identifies a lock by the package name and type that own it plus
@@ -75,6 +76,15 @@ var (
 	clsWALStripe   = class{"wal", 20, "WAL staging stripe", orderWAL}
 	clsWALCommit   = class{"wal", 30, "WAL commit mutex", orderWAL}
 	clsWALDeferred = class{"wal", 30, "WAL deferred-error mutex", orderWAL}
+
+	// Replication locks. The router holds its topology lock while taking
+	// per-partition state locks (stats, reload), never the reverse.
+	// Standby.mu is a leaf by design: it is always released before
+	// ApplyReplicated calls into the pphcr lock domain, so the apply path
+	// can never deadlock against the shipping bookkeeping.
+	clsReplRouter  = class{"replicate", 10, "router topology lock (Router.mu)", orderReplicate}
+	clsReplNode    = class{"replicate", 20, "partition state lock (nodeState.mu)", orderReplicate}
+	clsReplStandby = class{"replicate", 30, "standby apply lock (Standby.mu)", orderReplicate}
 )
 
 // fieldClasses maps mutex-valued fields to their class; the lock is
@@ -98,6 +108,10 @@ var fieldClasses = map[key]class{
 	{"durable", "walStripe", "mu"}:   clsWALStripe,
 	{"durable", "WAL", "commitMu"}:   clsWALCommit,
 	{"durable", "WAL", "deferredMu"}: clsWALDeferred,
+
+	{"replicate", "Router", "mu"}:    clsReplRouter,
+	{"replicate", "nodeState", "mu"}: clsReplNode,
+	{"replicate", "Standby", "mu"}:   clsReplStandby,
 }
 
 // methodOp describes a lock-wrapping method of an owning type.

@@ -8,5 +8,5 @@ import (
 )
 
 func TestLockOrder(t *testing.T) {
-	analysistest.Run(t, "testdata", lockorder.Analyzer, "profile", "pphcr")
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "profile", "pphcr", "replicate")
 }

@@ -1,0 +1,305 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pphcr/internal/httpapi"
+)
+
+// This file is the network half of the client package: an HTTP client
+// for the pphcr-server / pphcr-router API with the robustness the
+// multi-node layer demands — every request carries a context deadline
+// (a hung node costs one timeout, not a stuck caller), and idempotent
+// calls retry under bounded exponential backoff with full jitter.
+// Non-idempotent writes (track, feedback) never retry here: a retried
+// append is a duplicate signal, and only the caller knows whether its
+// oracle tolerates that.
+
+// RetryPolicy bounds the retry loop for idempotent calls.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// Values below 1 mean one attempt (no retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential schedule: the backoff before retry
+	// n is uniform in [0, min(MaxDelay, BaseDelay·2ⁿ)] — "full jitter",
+	// which decorrelates a thundering herd of callers that all saw the
+	// same node die at the same moment.
+	BaseDelay time.Duration
+	// MaxDelay caps the schedule.
+	MaxDelay time.Duration
+}
+
+// DefaultRetry is the client default: 4 attempts, 25ms → 2s envelope.
+var DefaultRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: 25 * time.Millisecond, MaxDelay: 2 * time.Second}
+
+// Backoff returns the sleep before retry n (0-based: n=0 follows the
+// first failed attempt). rnd must be uniform in [0,1); the result is
+// full-jitter — uniform in [0, min(MaxDelay, BaseDelay·2ⁿ)].
+func (p RetryPolicy) Backoff(n int, rnd float64) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = DefaultRetry.BaseDelay
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = DefaultRetry.MaxDelay
+	}
+	cap := base
+	for i := 0; i < n; i++ {
+		cap *= 2
+		if cap >= max || cap <= 0 { // <=0: overflow past int64
+			cap = max
+			break
+		}
+	}
+	if cap > max {
+		cap = max
+	}
+	return time.Duration(rnd * float64(cap))
+}
+
+// StatusError is a non-2xx API response.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("client: http %d: %s", e.Code, e.Msg)
+	}
+	return fmt.Sprintf("client: http %d", e.Code)
+}
+
+// retryableStatus reports whether a status is worth retrying on another
+// attempt: 5xx (including the 502/503/504 a router emits around a
+// failover) and 429. 4xx client errors are deterministic — retrying
+// them re-fails.
+func retryableStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
+
+// API is a client for one pphcr-server or pphcr-router base URL.
+// Configure Timeout / Retry before first use; the zero values take the
+// defaults. Safe for concurrent use.
+type API struct {
+	// Timeout is the per-attempt deadline layered onto the caller's
+	// context. Default 5s.
+	Timeout time.Duration
+	// Retry is the idempotent-call retry policy. Default DefaultRetry.
+	Retry RetryPolicy
+
+	base string
+	hc   *http.Client
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	attempts atomic.Int64 // total HTTP attempts issued
+	retries  atomic.Int64 // attempts beyond the first per call
+}
+
+// NewAPI returns a client for baseURL (e.g. "http://127.0.0.1:8080").
+// seed drives the backoff jitter — distinct callers should use distinct
+// seeds so their retries decorrelate.
+func NewAPI(baseURL string, seed int64) *API {
+	return &API{
+		Timeout: 5 * time.Second,
+		Retry:   DefaultRetry,
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      &http.Client{},
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetHTTPClient swaps the underlying transport (tests inject
+// httptest servers' clients). Not safe concurrently with requests.
+func (a *API) SetHTTPClient(hc *http.Client) { a.hc = hc }
+
+// Attempts and Retries report the client's lifetime attempt counters —
+// retries is how many were re-tries. The failover harness uses them to
+// show what the storm actually cost.
+func (a *API) Attempts() int64 { return a.attempts.Load() }
+
+// Retries is the number of attempts beyond the first per call.
+func (a *API) Retries() int64 { return a.retries.Load() }
+
+func (a *API) jitter() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rng.Float64()
+}
+
+// do issues method path with body (re-sent verbatim per attempt),
+// decodes a 2xx JSON response into out (when non-nil), and returns the
+// response header. Idempotent calls retry per a.Retry on network
+// errors, per-attempt timeouts, and retryable statuses; the parent
+// context cancelling stops the loop immediately.
+func (a *API) do(ctx context.Context, method, path string, body []byte, out interface{}, idempotent bool) (http.Header, error) {
+	attempts := 1
+	if idempotent && a.Retry.MaxAttempts > 1 {
+		attempts = a.Retry.MaxAttempts
+	}
+	var lastErr error
+	for n := 0; n < attempts; n++ {
+		if n > 0 {
+			a.retries.Add(1)
+			select {
+			case <-time.After(a.Retry.Backoff(n-1, a.jitter())):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		a.attempts.Add(1)
+		hdr, err := a.attempt(ctx, method, path, body, out)
+		if err == nil {
+			return hdr, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("client: %s %s: %w (last error: %v)", method, path, ctx.Err(), err)
+		}
+		if se, ok := err.(*StatusError); ok && !retryableStatus(se.Code) {
+			return nil, err
+		}
+	}
+	if attempts > 1 {
+		return nil, fmt.Errorf("client: %s %s: %d attempts exhausted: %w", method, path, attempts, lastErr)
+	}
+	return nil, lastErr
+}
+
+func (a *API) attempt(ctx context.Context, method, path string, body []byte, out interface{}) (http.Header, error) {
+	if a.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, a.Timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, a.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := a.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var ae struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(data, &ae)
+		return nil, &StatusError{Code: resp.StatusCode, Msg: ae.Error}
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return nil, fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return resp.Header, nil
+}
+
+// walSeqOf parses the ack-barrier header off a write response; 0 when
+// the server is not replication-aware.
+func walSeqOf(hdr http.Header) uint64 {
+	v, _ := strconv.ParseUint(hdr.Get(httpapi.HeaderWalSeq), 10, 64)
+	return v
+}
+
+// Ready probes /readyz with a single attempt (health-check loops own
+// their own cadence; retrying inside a probe would mask flapping).
+func (a *API) Ready(ctx context.Context) error {
+	_, err := a.do(ctx, http.MethodGet, "/readyz", nil, nil, false)
+	return err
+}
+
+// RegisterUser registers (or re-registers — the op is a profile upsert,
+// hence idempotent and retried) a user.
+func (a *API) RegisterUser(ctx context.Context, b httpapi.UserBody) error {
+	body, err := json.Marshal(b)
+	if err != nil {
+		return err
+	}
+	_, err = a.do(ctx, http.MethodPost, "/api/users", body, nil, true)
+	return err
+}
+
+// Track appends one GPS fix. Not idempotent — a retry would duplicate
+// the fix — so it never retries; the returned walSeq is the ack-barrier
+// bound (0 from a non-replicated server).
+func (a *API) Track(ctx context.Context, b httpapi.TrackBody) (walSeq uint64, err error) {
+	body, err := json.Marshal(b)
+	if err != nil {
+		return 0, err
+	}
+	hdr, err := a.do(ctx, http.MethodPost, "/api/track", body, nil, false)
+	if err != nil {
+		return 0, err
+	}
+	return walSeqOf(hdr), nil
+}
+
+// Feedback appends one feedback event. Not idempotent, never retried.
+func (a *API) Feedback(ctx context.Context, b httpapi.FeedbackBody) (walSeq uint64, err error) {
+	body, err := json.Marshal(b)
+	if err != nil {
+		return 0, err
+	}
+	hdr, err := a.do(ctx, http.MethodPost, "/api/feedback", body, nil, false)
+	if err != nil {
+		return 0, err
+	}
+	return walSeqOf(hdr), nil
+}
+
+// Plan requests a proactive trip plan. POST but read-only, hence
+// idempotent and retried.
+func (a *API) Plan(ctx context.Context, b httpapi.PlanRequest) (httpapi.PlanView, error) {
+	var out httpapi.PlanView
+	body, err := json.Marshal(b)
+	if err != nil {
+		return out, err
+	}
+	_, err = a.do(ctx, http.MethodPost, "/api/plan", body, &out, true)
+	return out, err
+}
+
+// Recommendations fetches the top-k ranked items for user (idempotent).
+func (a *API) Recommendations(ctx context.Context, user string, k int) ([]httpapi.RecommendationView, error) {
+	var out []httpapi.RecommendationView
+	q := url.Values{"user": {user}, "k": {strconv.Itoa(k)}}
+	_, err := a.do(ctx, http.MethodGet, "/api/recommendations?"+q.Encode(), nil, &out, true)
+	return out, err
+}
+
+// FeedbackEvents dumps a user's live feedback events — the oracle read
+// the failover proof compares acked writes against (idempotent).
+func (a *API) FeedbackEvents(ctx context.Context, user string) ([]httpapi.FeedbackEventView, error) {
+	var out []httpapi.FeedbackEventView
+	q := url.Values{"user": {user}}
+	_, err := a.do(ctx, http.MethodGet, "/api/feedback/events?"+q.Encode(), nil, &out, true)
+	return out, err
+}

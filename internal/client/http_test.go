@@ -1,0 +1,188 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pphcr/internal/httpapi"
+)
+
+// TestBackoffSchedule pins the full-jitter envelope: the backoff before
+// retry n is uniform in [0, min(MaxDelay, BaseDelay·2ⁿ)], so rnd=1⁻
+// traces the exponential cap and rnd=0 is always zero.
+func TestBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, BaseDelay: 25 * time.Millisecond, MaxDelay: 2 * time.Second}
+	almostOne := 1 - 1e-12
+	caps := []time.Duration{
+		25 * time.Millisecond,  // n=0
+		50 * time.Millisecond,  // n=1
+		100 * time.Millisecond, // n=2
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // n=7: capped at MaxDelay
+		2 * time.Second, // stays capped
+	}
+	for n, want := range caps {
+		if got := p.Backoff(n, 0); got != 0 {
+			t.Errorf("Backoff(%d, 0) = %v, want 0 (full jitter floor)", n, got)
+		}
+		got := p.Backoff(n, almostOne)
+		if got > want || got < time.Duration(float64(want)*0.99) {
+			t.Errorf("Backoff(%d, ~1) = %v, want ~%v", n, got, want)
+		}
+	}
+	// Mid-range jitter lands mid-envelope.
+	if got, wantCap := p.Backoff(2, 0.5), 100*time.Millisecond; got != wantCap/2 {
+		t.Errorf("Backoff(2, 0.5) = %v, want %v", got, wantCap/2)
+	}
+}
+
+// TestBackoffOverflow: a huge retry index must clamp to MaxDelay, not
+// overflow the duration shift into a negative sleep.
+func TestBackoffOverflow(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Second, MaxDelay: 30 * time.Second}
+	for _, n := range []int{40, 63, 64, 100, 1000} {
+		got := p.Backoff(n, 1-1e-12)
+		if got < 0 || got > p.MaxDelay {
+			t.Fatalf("Backoff(%d) = %v, outside [0, %v]", n, got, p.MaxDelay)
+		}
+	}
+}
+
+// TestRetryBudget: an idempotent call against a server that always 503s
+// issues exactly MaxAttempts attempts, then surfaces the status error.
+func TestRetryBudget(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"promoting"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	a := NewAPI(srv.URL, 1)
+	a.Retry = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	_, err := a.Plan(context.Background(), httpapi.PlanRequest{UserID: "u", Fixes: []httpapi.TrackBody{{UserID: "u"}}})
+	if err == nil {
+		t.Fatal("want error from always-503 server")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("want wrapped 503 StatusError, got %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want MaxAttempts=3", got)
+	}
+	if got := a.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2", got)
+	}
+}
+
+// TestNonIdempotentNoRetry: feedback (an append) must issue exactly one
+// attempt no matter the retry policy.
+func TestNonIdempotentNoRetry(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	a := NewAPI(srv.URL, 1)
+	a.Retry = RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	if _, err := a.Feedback(context.Background(), httpapi.FeedbackBody{UserID: "u"}); err == nil {
+		t.Fatal("want error from 502")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a non-idempotent write, want 1", got)
+	}
+}
+
+// TestNoRetryOn4xx: deterministic client errors fail fast even on
+// idempotent calls.
+func TestNoRetryOn4xx(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"bad input"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	a := NewAPI(srv.URL, 1)
+	a.Retry = RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	if _, err := a.Recommendations(context.Background(), "u", 3); err == nil {
+		t.Fatal("want error from 400")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a 400, want 1 (no retry)", got)
+	}
+}
+
+// TestRetryRecovers: a server that fails twice then succeeds is
+// absorbed by the retry loop — the caller sees success.
+func TestRetryRecovers(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, `{"error":"failing over"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set(httpapi.HeaderWalSeq, "41")
+		w.Write([]byte(`{"proactive":false}`))
+	}))
+	defer srv.Close()
+
+	a := NewAPI(srv.URL, 1)
+	a.Retry = RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	if _, err := a.Plan(context.Background(), httpapi.PlanRequest{UserID: "u", Fixes: []httpapi.TrackBody{{UserID: "u"}}}); err != nil {
+		t.Fatalf("retry should have absorbed two 503s: %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+// TestPerAttemptTimeout: a hung server costs one Timeout per attempt,
+// not a stuck caller; the parent context cancelling aborts the loop
+// between attempts.
+func TestPerAttemptTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+
+	a := NewAPI(srv.URL, 1)
+	a.Timeout = 30 * time.Millisecond
+	a.Retry = RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	start := time.Now()
+	err := a.Ready(context.Background()) // single attempt: probe semantics
+	if err == nil {
+		t.Fatal("want timeout error from hung server")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hung server blocked the caller %v; per-attempt timeout is 30ms", elapsed)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("Ready issued %d attempts, want 1 (probes do not retry)", got)
+	}
+
+	// Parent cancellation wins over the retry schedule.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.Recommendations(ctx, "u", 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -1,0 +1,131 @@
+package durable
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file is the shipping surface of the WAL: the exported listing,
+// naming and incremental-scan primitives a replication follower needs to
+// mirror a leader's data directory byte-for-byte and apply the records
+// as they arrive. The framing and torn-tail semantics are exactly those
+// of Replay; shipping adds nothing to the format — a follower's
+// directory is a valid recovery directory at every instant, which is
+// what makes promotion "just recover from local disk".
+
+// ShipFile is one shippable file (WAL segment or checkpoint) on disk.
+type ShipFile struct {
+	// Seq is the file's sequence number (segment number, or the WAL
+	// segment a checkpoint covers up to).
+	Seq int64 `json:"seq"`
+	// Size is the current byte size. For the active segment it grows
+	// between polls; bytes past a follower's cursor are the ship window.
+	Size int64 `json:"size"`
+	// Path is the local path (leader side only; never serialized).
+	Path string `json:"-"`
+}
+
+// ListSegmentFiles returns the WAL segments in dir ascending by
+// sequence, with their current sizes. A missing directory is an empty
+// log, not an error.
+func ListSegmentFiles(dir string) ([]ShipFile, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	out := make([]ShipFile, len(segs))
+	for i, s := range segs {
+		out[i] = ShipFile{Seq: s.seq, Size: s.size, Path: s.path}
+	}
+	return out, nil
+}
+
+// ListCheckpointFiles returns the checkpoints in dir ascending by
+// sequence, with sizes.
+func ListCheckpointFiles(dir string) ([]ShipFile, error) {
+	files, err := listNumbered(dir, checkpointPrefix, checkpointSuffix)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	out := make([]ShipFile, len(files))
+	for i, f := range files {
+		out[i] = ShipFile{Seq: f.seq, Size: f.size, Path: f.path}
+	}
+	return out, nil
+}
+
+// SegmentFileName renders the file name of WAL segment seq, so a
+// follower writes shipped bytes under the exact name recovery expects.
+func SegmentFileName(seq int64) string { return segmentName(seq) }
+
+// CheckpointFileName renders the file name of the checkpoint covering
+// WAL segments below seq.
+func CheckpointFileName(seq int64) string { return checkpointName(seq) }
+
+// InitShipDir prepares a follower data directory: creates it and writes
+// the WAL format marker, so the shipped segments parse under the same
+// format guard as locally written ones. Safe to call repeatedly; fails
+// if the directory already holds a different format.
+func InitShipDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("durable: creating ship dir: %w", err)
+	}
+	return ensureFormat(dir, false)
+}
+
+// FormatVersion is the WAL record-framing version this release writes
+// and reads. A shipping source advertises it so a follower refuses to
+// mirror a log it cannot parse.
+const FormatVersion = formatVersion
+
+// ScanSegment reads the valid records of one segment starting at byte
+// offset off, applying each through fn, and returns the new valid-prefix
+// offset. A torn record at the scan end sets torn — for the active
+// segment that is the normal "rest of the record has not shipped yet"
+// state, and the caller resumes from newOff once more bytes arrive; a
+// sealed segment ending torn is corruption the caller must surface. An
+// error from fn aborts the scan with newOff pointing at the failed
+// record, so a retry re-applies it.
+func ScanSegment(path string, off int64, fn func(Event) error) (newOff int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return off, false, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return off, false, err
+	}
+	r := bufio.NewReaderSize(f, 1<<16)
+	newOff = off
+	for {
+		e, err := readRecord(r)
+		if err == io.EOF {
+			return newOff, false, nil
+		}
+		if err == ErrTorn {
+			return newOff, true, nil
+		}
+		if err != nil {
+			return newOff, false, err
+		}
+		if err := fn(e); err != nil {
+			return newOff, false, err
+		}
+		newOff += recordSize(e)
+	}
+}
+
+// SeqCeiling is the highest record sequence number the log has handed
+// out. Every record whose Append returned is stamped with a sequence at
+// or below it, so "a follower has applied everything up to SeqCeiling
+// taken after a write" implies the follower has that write — the
+// replication acknowledgment bound the router waits on.
+func (w *WAL) SeqCeiling() uint64 { return w.seqCtr.Load() }

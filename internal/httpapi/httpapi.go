@@ -56,6 +56,12 @@ type Server struct {
 	// 200 — but the body and pphcr_degraded flag it, so scenario runs
 	// and dashboards can tell degraded from dead.
 	degradedCheck func() error
+
+	// repl holds the node's replication role, the WAL-sequence source
+	// behind the write-ack header, and the follower lag source — all
+	// swappable at runtime because promotion changes them on a live
+	// server (see replication.go).
+	repl replication
 }
 
 // NewServer wraps a System.
@@ -77,6 +83,7 @@ func NewServer(sys *pphcr.System) *Server {
 	s.route("/api/track", "track", s.handleTrack)
 	s.route("/api/feedback", "feedback", s.handleFeedback)
 	s.route("/api/compact", "compact", s.handleCompact)
+	s.route("/api/feedback/events", "feedback_events", s.handleFeedbackEvents)
 	s.route("/api/recommendations", "recommendations", s.handleRecommendations)
 	s.route("/api/plan", "plan", s.handlePlan)
 	s.route("/api/plan/batch", "plan_batch", s.handlePlanBatch)
@@ -84,11 +91,19 @@ func NewServer(sys *pphcr.System) *Server {
 	s.route("/api/schedule", "schedule", s.handleSchedule)
 	s.route("/api/items/", "item_by_id", s.handleItemByID)
 	s.registerSystemMetrics()
+	s.registerReplicationMetrics()
 	return s
 }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// HeaderWalSeq is the response header successful writes carry: an upper
+// bound on the WAL sequence number the write landed at. A
+// replication-aware router uses it as the ack barrier — it holds the
+// client response until a follower has applied at least this far, which
+// is what makes "acked" mean "survives leader loss".
+const HeaderWalSeq = "X-Pphcr-Wal-Seq"
 
 // apiError is the uniform error body.
 type apiError struct {
@@ -126,6 +141,10 @@ type UserBody struct {
 func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
+		if err := s.writeGateErr(); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		var body UserBody
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad json: %w", err))
@@ -143,6 +162,7 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
+		s.stampWalSeq(w)
 		writeJSON(w, http.StatusCreated, map[string]string{"user_id": p.UserID})
 	case http.MethodGet:
 		writeJSON(w, http.StatusOK, s.sys.Profiles.UserIDs())
@@ -178,6 +198,10 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
 		return
 	}
+	if err := s.writeGateErr(); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
 	var body TrackBody
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad json: %w", err))
@@ -195,6 +219,7 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	s.stampWalSeq(w)
 	writeJSON(w, http.StatusAccepted, map[string]int{
 		"fixes": s.sys.Tracker.FixCount(body.UserID),
 	})
@@ -228,6 +253,10 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
 		return
 	}
+	if err := s.writeGateErr(); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
 	var body FeedbackBody
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad json: %w", err))
@@ -257,12 +286,50 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	s.stampWalSeq(w)
 	writeJSON(w, http.StatusAccepted, map[string]string{"status": "recorded"})
+}
+
+// FeedbackEventView is one live feedback event in the dump endpoint's
+// response — the read side of the failover oracle: a verifier replays
+// its acked-write multiset against this list on the promoted node.
+type FeedbackEventView struct {
+	UserID string `json:"user_id"`
+	ItemID string `json:"item_id"`
+	Kind   string `json:"kind"`
+	Unix   int64  `json:"unix"`
+}
+
+func (s *Server) handleFeedbackEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("user parameter required"))
+		return
+	}
+	events := s.sys.Feedback.ByUser(user)
+	out := make([]FeedbackEventView, len(events))
+	for i, e := range events {
+		out[i] = FeedbackEventView{
+			UserID: e.UserID,
+			ItemID: e.ItemID,
+			Kind:   e.Kind.String(),
+			Unix:   e.At.Unix(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	if err := s.writeGateErr(); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	user := r.URL.Query().Get("user")
@@ -271,6 +338,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	s.stampWalSeq(w)
 	writeJSON(w, http.StatusOK, map[string]int{
 		"stay_points": len(cm.StayPoints),
 		"trips":       len(cm.Trips),

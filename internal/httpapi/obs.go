@@ -249,18 +249,22 @@ type readyView struct {
 	Ready    bool   `json:"ready"`
 	Degraded bool   `json:"degraded,omitempty"`
 	Reason   string `json:"reason,omitempty"`
+	// Role is the node's replication role (leader / follower /
+	// promoting) — the router's probe and operators read it here.
+	Role string `json:"role"`
 }
 
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	role := s.Role()
 	if err := s.readinessErr(); err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, readyView{Ready: false, Reason: err.Error()})
+		writeJSON(w, http.StatusServiceUnavailable, readyView{Ready: false, Reason: err.Error(), Role: role})
 		return
 	}
 	if err := s.degradedErr(); err != nil {
-		writeJSON(w, http.StatusOK, readyView{Ready: true, Degraded: true, Reason: err.Error()})
+		writeJSON(w, http.StatusOK, readyView{Ready: true, Degraded: true, Reason: err.Error(), Role: role})
 		return
 	}
-	writeJSON(w, http.StatusOK, readyView{Ready: true})
+	writeJSON(w, http.StatusOK, readyView{Ready: true, Role: role})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

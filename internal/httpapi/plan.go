@@ -130,7 +130,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	case tp.Source == pphcr.PlanSourceCold && tp.Proactive:
 		s.coldLat.Observe(elapsed)
 	}
-	writeJSON(w, http.StatusOK, planView(tp))
+	view := planView(tp)
+	if s.Role() != RoleLeader {
+		// Graceful degradation: the plan was computed from replicated
+		// state that may trail the leader, and the client can tell.
+		view.Served = "replica"
+	}
+	writeJSON(w, http.StatusOK, view)
 }
 
 // maxBatchMembers bounds one /api/plan/batch request: a batch plans
@@ -194,6 +200,13 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Plans[i] = PlanView{Error: res.Err.Error()}
 		default:
 			resp.Plans[i] = planView(res.Plan)
+		}
+	}
+	if s.Role() != RoleLeader {
+		for i := range resp.Plans {
+			if resp.Plans[i].Error == "" {
+				resp.Plans[i].Served = "replica"
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

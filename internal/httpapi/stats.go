@@ -52,8 +52,12 @@ type EndpointStats struct {
 // durability block adds the WAL's append/fsync distributions and the
 // checkpoint pause timings.
 type StatsView struct {
-	Cache plancache.Stats `json:"cache"`
-	Plan  struct {
+	// Role is the node's replication role; ReplicationLagSeconds is the
+	// follower's lag behind the leader's WAL ceiling (0 elsewhere).
+	Role                  string          `json:"role"`
+	ReplicationLagSeconds float64         `json:"replication_lag_seconds"`
+	Cache                 plancache.Stats `json:"cache"`
+	Plan                  struct {
 		Warm LatencyView `json:"warm"`
 		Cold LatencyView `json:"cold"`
 	} `json:"plan"`
@@ -97,6 +101,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var view StatsView
+	view.Role = s.Role()
+	view.ReplicationLagSeconds = s.replicationLag()
 	view.Cache = s.sys.PlanCache.Stats()
 	view.Plan.Warm = latencyView(s.warmLat.Summary())
 	view.Plan.Cold = latencyView(s.coldLat.Summary())

@@ -1,0 +1,120 @@
+package replicate
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+
+	"pphcr"
+	"pphcr/internal/durable"
+)
+
+// Rebalance replays moved users' history on their new owner: it fetches
+// every WAL segment from the source node (whose leader runs with
+// RetainSegments, so the log reaches back to sequence 1), filters the
+// records to the moved users, orders them by sequence and applies them
+// through sys's entry points. The new owner is a live leader with its
+// mutation hook attached, so each applied record is re-logged into its
+// own WAL — the moved history becomes durable (and ships to the new
+// owner's follower) exactly like native writes.
+//
+// Catalog ingest records carry no user and are skipped: every node
+// ingests the same seeded catalog itself, so the moved users' feedback
+// and injections resolve against items already present.
+//
+// Returns the number of records applied.
+func Rebalance(ctx context.Context, sys *pphcr.System, sourceURL, prefix string, users []string) (int, error) {
+	if len(users) == 0 {
+		return 0, nil
+	}
+	moved := make(map[string]bool, len(users))
+	for _, u := range users {
+		moved[u] = true
+	}
+	hc := &http.Client{}
+
+	st, err := fetchSourceStatus(ctx, hc, sourceURL, prefix)
+	if err != nil {
+		return 0, err
+	}
+	if st.Format != durable.FormatVersion {
+		return 0, fmt.Errorf("replicate: source WAL format %q, this node speaks %q", st.Format, durable.FormatVersion)
+	}
+
+	var slice []durable.Event
+	for _, sf := range st.Segments {
+		if err := scanRemoteSegment(ctx, hc, sourceURL, prefix, sf, func(e durable.Event) error {
+			user, ok := pphcr.EventUser(e)
+			if !ok || !moved[user] {
+				return nil
+			}
+			slice = append(slice, e)
+			return nil
+		}); err != nil {
+			return 0, err
+		}
+	}
+	SortEventsBySeq(slice)
+	for i, e := range slice {
+		if err := sys.ApplyReplicated(e); err != nil {
+			return i, fmt.Errorf("replicate: applying rebalanced seq %d (%s): %w", e.Seq, e.Type, err)
+		}
+	}
+	return len(slice), nil
+}
+
+func fetchSourceStatus(ctx context.Context, hc *http.Client, base, prefix string) (StatusView, error) {
+	var st StatusView
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+prefix+statusPath, nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return st, fmt.Errorf("replicate: source status: http %d: %s", resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// scanRemoteSegment downloads one segment to a temp file and scans its
+// valid records through fn. A torn tail is tolerated — it is the
+// source's active append boundary.
+func scanRemoteSegment(ctx context.Context, hc *http.Client, base, prefix string, sf durable.ShipFile, fn func(durable.Event) error) error {
+	q := url.Values{"kind": {"segment"}, "seq": {fmt.Sprint(sf.Seq)}, "off": {"0"}}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+prefix+filePath+"?"+q.Encode(), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("replicate: fetching segment %d: http %d: %s", sf.Seq, resp.StatusCode, body)
+	}
+	tmp, err := os.CreateTemp("", "pphcr-rebalance-*.log")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	defer tmp.Close()
+	if _, err := io.Copy(tmp, resp.Body); err != nil {
+		return err
+	}
+	_, _, err = durable.ScanSegment(tmp.Name(), 0, fn)
+	return err
+}
